@@ -1,0 +1,55 @@
+"""Ablations over the Section V optimisations.
+
+Not a paper figure, but the design-choice evidence DESIGN.md calls
+for: each optimisation is disabled in turn on the 8-node Perlmutter
+workload and the V-cycle time compared.
+
+Expected structure:
+* communication-avoiding is the largest single lever (the exchange
+  count per level visit drops from 12 to ceil(12/8) = 2);
+* GPU-aware MPI matters (host staging caps bandwidth);
+* the surface-major ordering saves the pack/unpack passes;
+* the HPGMG-style baseline (all of the above off + conventional
+  layout) is the slowest variant.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.harness import experiments as E
+from repro.harness import reporting as R
+
+
+@pytest.mark.parametrize("machine", ["Perlmutter", "Frontier", "Sunspot"])
+def test_ablation_optimizations(benchmark, machine):
+    result = benchmark.pedantic(
+        E.ablation_optimizations, args=(machine,), rounds=1, iterations=1
+    )
+    report(f"ablation_{machine}", R.render_ablation(result))
+
+    t = result.vcycle_seconds
+    base = t["all-optimizations"]
+    assert t["no-communication-avoiding"] > 1.5 * base
+    assert t["lexicographic-ordering"] > base
+    assert t["hpgmg-baseline"] > 1.3 * base
+    if machine != "Sunspot":  # Sunspot already runs host-staged
+        assert t["no-gpu-aware-mpi"] > 1.05 * base
+
+
+def test_ablation_ca_is_biggest_comm_lever(benchmark):
+    result = benchmark.pedantic(
+        E.ablation_optimizations, args=("Perlmutter",), rounds=1, iterations=1
+    )
+    t = result.vcycle_seconds
+    base = t["all-optimizations"]
+    ca_gain = t["no-communication-avoiding"] / base
+    ordering_gain = t["lexicographic-ordering"] / base
+    aware_gain = t["no-gpu-aware-mpi"] / base
+    report(
+        "ablation_levers",
+        f"communication-avoiding: {ca_gain:.2f}x\n"
+        f"gpu-aware MPI:          {aware_gain:.2f}x\n"
+        f"surface-major ordering: {ordering_gain:.2f}x\n",
+    )
+    assert ca_gain > aware_gain > 1.0
+    assert ca_gain > ordering_gain > 1.0

@@ -1,0 +1,38 @@
+"""Figure 3: total execution time per multigrid level.
+
+Workload: 1024^3 global domain on 8 nodes, one rank per node binding a
+single A100 / MI250X GCD / PVC tile, 512^3 per rank, six levels, 12
+smooths per level, 100 bottom smooths, communication-avoiding on, 12
+V-cycles to convergence.
+
+Paper shape to reproduce: per-level time falls by ~4-8x per level on
+the way down; the coarsest level costs *more* than the one above it
+(the 100-iteration bottom solve); Sunspot is slowest at the coarse,
+latency-bound levels where CXI settings and GPU-aware MPI pay off for
+Perlmutter and Frontier.
+"""
+
+from benchmarks.conftest import report
+from repro.harness import experiments as E
+from repro.harness import reporting as R
+
+
+def test_fig3_time_per_level(benchmark):
+    result = benchmark.pedantic(
+        E.fig3_time_per_level, rounds=3, iterations=1, warmup_rounds=1
+    )
+    report("fig3_time_per_level", R.render_fig3(result))
+
+    for machine, totals in result.level_totals.items():
+        # monotone decrease down to the bottom-solver level
+        assert all(a > b for a, b in zip(totals[:-2], totals[1:-1])), machine
+        # bottom-solver bump at the coarsest level
+        assert totals[-1] > totals[-2], machine
+        # fine-level ratio sits between the 4x surface and 8x volume laws
+        assert 4.0 <= totals[0] / totals[1] <= 8.5, machine
+    # Sunspot slowest at the latency-bound coarse levels
+    for lev in (3, 4, 5):
+        assert (
+            result.level_totals["Sunspot"][lev]
+            > result.level_totals["Perlmutter"][lev]
+        )

@@ -1,0 +1,47 @@
+"""Figure 5: GStencil/s per invocation for applyOp and smooth+residual.
+
+Across the six V-cycle levels (512^3 down to 16^3 per rank), kernel
+throughput follows the latency/bandwidth model f(x) = x/(alpha + x/beta):
+near the theoretical bandwidth ceiling at the finest levels, dropping
+linearly once launch latency dominates.  Paper claims reproduced here:
+
+* fitted empirical latencies land between 5 us and 20 us, NVIDIA lowest;
+* the A100 applyOp ceiling is 88.75 GStencil/s (1420 GB/s / 16 B);
+* smooth+residual saturates near the paper's 40 GStencil/s reference;
+* NVIDIA delivers the highest throughput per process.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.harness import experiments as E
+from repro.harness import reporting as R
+from repro.harness.ascii_plot import plot_kernel_throughput
+
+
+@pytest.mark.parametrize("op", ["applyOp", "smooth+residual"])
+def test_fig5_kernel_throughput(benchmark, op):
+    series = benchmark.pedantic(
+        E.fig5_kernel_throughput, args=(op,), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+    report(
+        f"fig5_{op.replace('+', '_')}",
+        R.render_fig5(series) + "\n" + plot_kernel_throughput(series),
+    )
+
+    for s in series.values():
+        assert 4e-6 <= s.fit.alpha <= 21e-6
+        assert s.fit.r_squared > 0.999
+        rates = [r for _, r in sorted(zip(s.points, s.gstencil))]
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+        assert max(s.gstencil) < s.ceiling_gstencil
+
+    p = series["Perlmutter"]
+    assert p.fit.alpha < series["Frontier"].fit.alpha
+    assert p.fit.alpha < series["Sunspot"].fit.alpha
+    assert p.fit.beta > series["Frontier"].fit.beta
+    if op == "applyOp":
+        assert p.ceiling_gstencil == pytest.approx(88.75)
+    else:
+        assert max(p.gstencil) == pytest.approx(40.0, abs=8.0)

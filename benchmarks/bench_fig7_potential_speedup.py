@@ -1,0 +1,44 @@
+"""Figure 7: potential speedup scatter.
+
+Each (machine, operation) pair plots at (fraction of theoretical AI,
+fraction of Roofline); potential speedup = 1/(x*y).  Paper claims:
+NVIDIA points all within ~1.2x of ideal; MI250X mostly 1.2-1.5x with
+the interpolation+increment outlier near 4x; PVC between ~1.5x and
+~2x (its weakest op slightly above).
+"""
+
+from benchmarks.conftest import report
+from repro.harness import experiments as E
+from repro.harness import reporting as R
+from repro.perf import iso_speedup_curve
+
+
+def test_fig7_potential_speedup(benchmark):
+    points = benchmark.pedantic(
+        E.fig7_potential_speedup, rounds=5, iterations=1
+    )
+    report("fig7_potential_speedup", R.render_fig7(points))
+
+    nvidia = [sp for _, _, sp in points["Perlmutter"].values()]
+    assert max(nvidia) <= 1.25
+
+    amd = points["Frontier"]
+    _, _, interp = amd["interpolation+increment"]
+    assert 3.0 <= interp <= 4.0
+    others = [sp for op, (_, _, sp) in amd.items()
+              if op != "interpolation+increment"]
+    assert all(1.0 <= sp <= 1.65 for sp in others)
+
+    intel = [sp for _, _, sp in points["Sunspot"].values()]
+    assert all(1.2 <= sp <= 2.8 for sp in intel)
+
+
+def test_fig7_iso_curves(benchmark):
+    """The iso-speedup curves the figure overlays."""
+    curves = benchmark.pedantic(
+        lambda: {s: iso_speedup_curve(s) for s in (1.2, 1.5, 2.0, 4.0)},
+        rounds=3,
+        iterations=1,
+    )
+    for s, (x, y) in curves.items():
+        assert ((1.0 / (x * y)) - s).max() < 1e-9

@@ -1,0 +1,53 @@
+"""Figure 9: strong scaling on fixed global domains.
+
+1024^3 on Perlmutter, 2x1024^3 on Frontier, 3x1024^3 on Sunspot,
+doubling ranks up to 512 GPUs (P/F) / 96 GPUs (S).  Paper claims:
+
+* total throughput keeps growing but parallel efficiency nose-dives as
+  shrinking per-rank problems become latency/overhead bound;
+* Frontier's absolute throughput is roughly double Perlmutter's (its
+  domain and rank count are double);
+* Sunspot tracks Perlmutter despite more GPUs, due to its MPI path.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.harness import experiments as E
+from repro.harness import reporting as R
+from repro.harness.ascii_plot import plot_scaling
+
+
+@pytest.mark.parametrize("machine", ["Perlmutter", "Frontier", "Sunspot"])
+def test_fig9_strong_scaling(benchmark, machine):
+    result = benchmark.pedantic(
+        E.fig9_strong_scaling, args=(machine,), rounds=1, iterations=1
+    )
+    report(f"fig9_strong_{machine}", R.render_scaling(result) + "\n" + plot_scaling([result]))
+
+    # throughput still grows with ranks...
+    assert all(a < b for a, b in zip(result.gstencil, result.gstencil[1:]))
+    # ...but efficiency decays monotonically and ends badly (Sunspot's
+    # ladder stops at 16 nodes, so its decline is shallower)
+    assert all(a >= b for a, b in zip(result.efficiency, result.efficiency[1:]))
+    assert result.efficiency[-1] < (0.75 if machine == "Sunspot" else 0.55)
+
+
+def test_fig9_efficiency_worse_than_weak(benchmark):
+    """Strong scaling loses far more efficiency than weak scaling at
+    the same node count — the paper's central Fig 8 vs Fig 9 contrast."""
+
+    def both():
+        return (
+            E.fig8_weak_scaling("Perlmutter"),
+            E.fig9_strong_scaling("Perlmutter"),
+        )
+
+    weak, strong = benchmark.pedantic(both, rounds=1, iterations=1)
+    report(
+        "fig9_weak_vs_strong",
+        f"Perlmutter at {weak.nodes[-1]} nodes: weak efficiency "
+        f"{weak.efficiency[-1] * 100:.1f}%, strong efficiency "
+        f"{strong.efficiency[-1] * 100:.1f}%\n",
+    )
+    assert strong.efficiency[-1] < weak.efficiency[-1] - 0.3

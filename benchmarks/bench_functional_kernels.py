@@ -1,0 +1,79 @@
+"""Functional-layer microbenchmarks: the generated NumPy kernels.
+
+These measure this repository's actual Python execution (not the
+machine models): DSL-generated brick kernels vs the dense-array
+reference, and a full laptop-scale multigrid solve.  They exist to
+keep the functional layer honest about its own performance and to give
+pytest-benchmark real work to time.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import report
+from repro.bricks import BrickGrid, BrickedArray
+from repro.dsl import APPLY_OP, SMOOTH_RESIDUAL, compile_stencil
+from repro.gmg import ArrayGMG, GMGSolver, SolverConfig
+
+N = 64
+B = 8
+
+
+@pytest.fixture(scope="module")
+def bricked_fields():
+    grid = BrickGrid((N // B,) * 3, B)
+    rng = np.random.default_rng(0)
+    fields = {}
+    for name in ("x", "b", "Ax", "r"):
+        f = BrickedArray.from_ijk(grid, rng.random((N, N, N)))
+        f.fill_ghost_periodic()
+        fields[name] = f
+    return fields
+
+
+def test_bench_generated_apply_op(benchmark, bricked_fields):
+    kernel = compile_stencil(APPLY_OP, B)
+    ws: dict = {}
+    consts = {"alpha": -6.0, "beta": 1.0}
+    result = benchmark(lambda: kernel.apply(bricked_fields, consts, ws))
+    points = N**3
+    rate = points / benchmark.stats["mean"] / 1e9
+    report(
+        "functional_apply_op",
+        f"generated applyOp on {N}^3 ({B}^3 bricks): "
+        f"{rate:.3f} GStencil/s in pure NumPy\n",
+    )
+
+
+def test_bench_generated_smooth_residual(benchmark, bricked_fields):
+    kernel = compile_stencil(SMOOTH_RESIDUAL, B)
+    ws: dict = {}
+    benchmark(lambda: kernel.apply(bricked_fields, {"gamma": 1e-4}, ws))
+
+
+def test_bench_serial_solve(benchmark):
+    def solve():
+        cfg = SolverConfig(global_cells=32, num_levels=3, brick_dim=4,
+                           max_smooths=8, bottom_smooths=40)
+        return GMGSolver(cfg).solve()
+
+    result = benchmark.pedantic(solve, rounds=2, iterations=1, warmup_rounds=1)
+    assert result.converged
+
+
+def test_bench_baseline_solve(benchmark):
+    def solve():
+        gmg = ArrayGMG(global_cells=32, num_levels=3, max_smooths=8,
+                       bottom_smooths=40)
+        return gmg.solve()
+
+    history = benchmark.pedantic(solve, rounds=2, iterations=1, warmup_rounds=1)
+    assert history[-1] <= 1e-10
+
+
+def test_bench_halo_gather(benchmark, bricked_fields):
+    from repro.bricks import gather_extended
+
+    x = bricked_fields["x"]
+    buf = np.empty((x.grid.num_slots, B + 2, B + 2, B + 2))
+    benchmark(lambda: gather_extended(x, 1, out=buf))

@@ -1,0 +1,69 @@
+"""Section IX analysis: where strong scaling's time goes.
+
+The paper attributes the Fig. 9 efficiency collapse to kernel-launch
+and MPI latency/overheads that stop amortising as the per-rank problem
+shrinks ("communication overheads being close to ten times larger than
+kernel launching overheads").  This bench decomposes each V-cycle along
+the strong-scaling ladder into latency and streaming buckets and
+asserts the diagnosis quantitatively.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.harness.experiments import strong_scaling_breakdown
+
+
+@pytest.mark.parametrize("machine", ["Perlmutter", "Frontier", "Sunspot"])
+def test_latency_breakdown(benchmark, machine):
+    bd = benchmark.pedantic(
+        strong_scaling_breakdown, args=(machine,), rounds=1, iterations=1
+    )
+    lines = [f"{machine} strong-scaling V-cycle decomposition (ms):"]
+    header = f"{'nodes':>6s} {'launch':>8s} {'k-stream':>9s} " + (
+        f"{'net-ovh':>8s} {'n-stream':>9s} {'latency%':>9s}"
+    )
+    lines.append(header)
+    for nodes, d, f in zip(bd.nodes, bd.decompositions, bd.latency_fractions):
+        lines.append(
+            f"{nodes:>6d} {d['kernel_launch'] * 1e3:>8.2f} "
+            f"{d['kernel_stream'] * 1e3:>9.2f} "
+            f"{d['net_overhead'] * 1e3:>8.2f} "
+            f"{d['net_stream'] * 1e3:>9.2f} {f * 100:>8.1f}%"
+        )
+    report(f"latency_breakdown_{machine}", "\n".join(lines) + "\n")
+
+    f = bd.latency_fractions
+    assert all(a < b for a, b in zip(f, f[1:]))  # monotone growth
+    assert f[0] < 0.10  # streaming-bound at the base
+    # the fraction at the top of the ladder depends on how far the
+    # ladder goes (Sunspot stops at 16 nodes)
+    assert f[-1] > (0.20 if machine == "Sunspot" else 0.30)
+
+
+def test_paper_overhead_ratio(benchmark):
+    """Section IX: MPI per-message overhead is close to 10x the kernel
+    launch overhead (which motivates deep ghost zones)."""
+    from repro.machines import MACHINES
+    from repro.machines.network import message_overhead
+
+    def ratios():
+        out = {}
+        for name, m in MACHINES.items():
+            per_exchange = 26 * message_overhead(m, 4096)
+            out[name] = per_exchange / m.gpu.kernel_launch_latency_s
+        return out
+
+    r = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    report(
+        "overhead_ratio",
+        "\n".join(
+            f"{name}: per-exchange MPI overhead / kernel launch = {v:.1f}x"
+            for name, v in r.items()
+        )
+        + "\n",
+    )
+    # the paper's remark ("close to ten times larger") holds on
+    # Perlmutter; every machine pays at least a full launch per exchange
+    assert r["Perlmutter"] == pytest.approx(10.0, rel=0.3)
+    assert all(v >= 1.0 for v in r.values())

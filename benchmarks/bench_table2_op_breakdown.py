@@ -1,0 +1,31 @@
+"""Table II: percentage of finest-level time per V-cycle operation.
+
+Paper values (A100/MI250X GCD/PVC tile): applyOp 25.0/30.7/22.5%,
+smooth+residual 54.5/50.0/53.1%, restriction ~1%, interpolation ~2-5%,
+exchange 17.5/12.8/20.4%.  The bench asserts each share within 8
+percentage points and the qualitative ordering (smooth+residual
+dominates everywhere; inter-grid operations are minor).
+"""
+
+from benchmarks.conftest import report
+from repro.harness import experiments as E
+from repro.harness import reporting as R
+
+
+def test_table2_op_breakdown(benchmark):
+    fractions = benchmark.pedantic(
+        E.table2_op_breakdown, rounds=3, iterations=1, warmup_rounds=1
+    )
+    lines = [R.render_table2(fractions), "paper reference:"]
+    for m, paper in E.TABLE2_PAPER.items():
+        lines.append(
+            f"  {m}: " + ", ".join(f"{op} {v * 100:.1f}%" for op, v in paper.items())
+        )
+    report("table2_op_breakdown", "\n".join(lines) + "\n")
+
+    for machine, paper in E.TABLE2_PAPER.items():
+        ours = fractions[machine]
+        for op, expected in paper.items():
+            assert abs(ours[op] - expected) <= 0.08, (machine, op)
+        assert ours["smooth+residual"] == max(ours.values())
+        assert ours["restriction"] < 0.05

@@ -1,0 +1,37 @@
+"""Table III: performance portability Phi from Roofline fractions.
+
+Phi is the harmonic mean of per-platform fraction-of-empirical-Roofline
+efficiencies (Pennycook et al.).  Paper: per-op Phi of 76/80/83/76/55%
+and an overall metric of 73%.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.harness import experiments as E
+from repro.harness import reporting as R
+
+
+def test_table3_portability(benchmark):
+    result = benchmark.pedantic(
+        E.table3_portability_roofline, rounds=5, iterations=1
+    )
+    report(
+        "table3_portability_roofline",
+        R.render_portability(result, "Table III — Phi (fraction of Roofline)"),
+    )
+
+    assert result.overall_phi == pytest.approx(0.73, abs=0.01)
+    paper_per_op = {
+        "applyOp": 0.76,
+        "smooth": 0.80,
+        "smooth+residual": 0.83,
+        "restriction": 0.76,
+        "interpolation+increment": 0.55,
+    }
+    for op, expected in paper_per_op.items():
+        assert result.per_op_phi[op] == pytest.approx(expected, abs=0.01), op
+    # harmonic-mean property: Phi never exceeds the best platform
+    for op, effs in result.efficiencies.items():
+        assert result.per_op_phi[op] <= max(effs.values())
+        assert result.per_op_phi[op] >= min(effs.values())

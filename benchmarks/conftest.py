@@ -1,0 +1,40 @@
+"""Benchmark-suite helpers.
+
+Each benchmark regenerates one paper table/figure, asserts its
+qualitative shape, and emits the paper-format rows.  Reports are
+written to ``benchmarks/results/<name>.txt`` as they are produced and
+replayed into the terminal summary after the run (pytest captures
+stdout at the fd level, so writing during the test would be lost), so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
+every reproduced figure and table.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: (name, text) pairs accumulated during the session, replayed at the end.
+_REPORTS: list[tuple[str, str]] = []
+
+
+def report(name: str, text: str) -> None:
+    """Emit a rendered paper table/figure reproduction."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    _REPORTS.append((name, text))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Replay every reproduced table/figure after the test output."""
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep(
+        "=", "reproduced paper tables and figures", bold=True
+    )
+    for name, text in _REPORTS:
+        terminalreporter.write_sep("-", name)
+        terminalreporter.write(text)
+        if not text.endswith("\n"):
+            terminalreporter.write("\n")

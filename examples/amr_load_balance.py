@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""AMR load-balancing preview (the paper's Section IX future work).
+
+The paper closes by flagging adaptive mesh refinement as future work,
+"where specific grid regions are subjected to refinement and load
+balancing becomes critical".  This script quantifies that criticality
+with the calibrated machine models: a centrally refined region is
+assigned to ranks under a naive block policy and under Morton-order
+interleaving, and each rank's smoothing work is priced with the
+machine's kernel model.  Bulk-synchronous multigrid runs at the
+slowest rank, so mean/max work is the parallel efficiency.
+
+Run:  python examples/amr_load_balance.py
+"""
+
+from repro.harness.amr_preview import (
+    RefinementStudy,
+    load_balance,
+    render_balance,
+)
+from repro.machines import MACHINES
+
+
+def main() -> None:
+    results = []
+    for machine in MACHINES.values():
+        for policy in ("block", "morton"):
+            results.append(load_balance(machine, num_ranks=8, policy=policy))
+    print(render_balance(results))
+
+    print("sweep of refinement fraction (Perlmutter, 8 ranks):")
+    from repro.machines import PERLMUTTER
+
+    print(f"  {'refined':>8s}  {'block':>7s}  {'morton':>7s}")
+    for frac in (0.02, 0.05, 0.1, 0.2, 0.4):
+        study = RefinementStudy(refine_fraction=frac)
+        block = load_balance(PERLMUTTER, study, 8, "block")
+        morton = load_balance(PERLMUTTER, study, 8, "morton")
+        print(f"  {frac * 100:>7.0f}%  {block.efficiency * 100:>6.1f}%  "
+              f"{morton.efficiency * 100:>6.1f}%")
+    print("\nload balancing is critical (naive placement loses 15-40%);")
+    print("space-filling-curve interleaving recovers it — the scheduling")
+    print("problem an AMR extension of the brick solver must solve.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Distributed GMG over simulated MPI: 8 ranks, 26-neighbour exchange.
+
+Decomposes a 32^3 periodic domain over a 2x2x2 rank grid (the shape of
+the paper's 8-node experiments), runs the same V-cycle on every rank in
+lockstep with real ghost-brick exchange through the simulated MPI
+layer, and then proves two things:
+
+* the distributed answer is bit-identical to a single-rank solve
+  (communication-avoiding redundant computation changes nothing);
+* the exchange schedule matches the paper's communication-avoiding
+  arithmetic: ceil(smooths / brick_dim) exchange phases per level
+  visit instead of one per smoothing iteration.
+
+Run:  python examples/distributed_solve.py
+"""
+
+import numpy as np
+
+from repro.gmg import GMGSolver, SolverConfig
+
+
+def main() -> None:
+    base = dict(global_cells=32, num_levels=3, brick_dim=4,
+                max_smooths=12, bottom_smooths=100)
+
+    serial = GMGSolver(SolverConfig(**base))
+    serial_result = serial.solve()
+    print(f"serial solve:      {serial_result.num_vcycles} V-cycles, "
+          f"final residual {serial_result.final_residual:.2e}")
+
+    distributed = GMGSolver(SolverConfig(**base, rank_dims=(2, 2, 2)))
+    dist_result = distributed.solve()
+    print(f"distributed solve: {dist_result.num_vcycles} V-cycles, "
+          f"final residual {dist_result.final_residual:.2e} "
+          f"({distributed.topology.size} ranks)")
+
+    diff = np.abs(serial.solution() - distributed.solution()).max()
+    print(f"\nmax |serial - distributed| = {diff:.1e} "
+          f"({'bit-identical' if diff == 0.0 else 'MISMATCH'})")
+
+    rec = dist_result.recorder
+    print("\ncommunication profile (all ranks, whole solve):")
+    print(f"  total messages: {sum(rec.message_counts_by_level().values())}")
+    for lev in sorted(rec.exchange_counts()):
+        n_ex = rec.exchange_counts()[lev]
+        mb = rec.message_bytes_by_level()[lev] / 1e6
+        print(f"  level {lev}: {n_ex} exchange phases, {mb:8.2f} MB moved")
+
+    # communication-avoiding arithmetic: 12 smooths with a 4-cell-deep
+    # ghost zone need ceil(12/4) = 3 exchanges per visit
+    expected = -(-base["max_smooths"] // 4)
+    print(f"\nexchanges per level visit: "
+          f"{distributed.vcycle.exchanges_per_visit(0)} "
+          f"(= ceil(12 smooths / 4-cell ghost depth) = {expected}); "
+          f"a conventional ghost-width-1 code would need "
+          f"{base['max_smooths']}")
+
+    if distributed.comm is not None:
+        print(f"simulated MPI totals: {distributed.comm.sent_messages} sends, "
+              f"{distributed.comm.sent_bytes / 1e6:.1f} MB")
+
+
+if __name__ == "__main__":
+    main()

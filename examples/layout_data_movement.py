@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Why fine-grain data blocking works: a cache-simulation study.
+
+The paper's Section III argues that an 8^3 tile of a conventional ijk
+array "touches a large number of separate address streams, resulting in
+more streams and cache misses [and] more data movement", while bricks
+keep each block in one contiguous run.  This script *measures* that
+claim with the repository's cache simulator: one 7-point stencil sweep
+over a 16^3 domain, brick layout vs conventional layout, across a range
+of cache sizes, reporting DRAM traffic relative to the compulsory
+(infinite-cache) bound.
+
+Run:  python examples/layout_data_movement.py
+"""
+
+from repro.memsim import (
+    BrickLayout,
+    CacheConfig,
+    RowMajorLayout,
+    measure_sweep,
+)
+
+N = 16
+BRICK = 4
+
+
+def main() -> None:
+    print(f"7-point sweep over a {N}^3 domain, {BRICK}^3 tiles/bricks")
+    print(f"{'cache':>8s}  {'brick traffic':>14s}  {'ijk traffic':>14s}  "
+          f"{'brick/ijk':>9s}")
+    for kib in (2, 4, 8, 16, 64):
+        cache = CacheConfig(capacity_bytes=kib * 1024, line_bytes=64, ways=8)
+        brick = measure_sweep(BrickLayout(N, BRICK), BRICK, cache)
+        ijk = measure_sweep(RowMajorLayout(N), BRICK, cache)
+        print(f"{kib:>6d}KB  {brick.traffic_ratio:>12.2f}x  "
+              f"{ijk.traffic_ratio:>12.2f}x  "
+              f"{brick.dram_bytes / ijk.dram_bytes:>8.2f}")
+    print("\n(ratios are DRAM traffic over the write-allocate compulsory "
+          "bound; 1.00x means every byte moved was unavoidable)")
+
+    cache = CacheConfig(capacity_bytes=4 * 1024, line_bytes=64, ways=8)
+    brick = measure_sweep(BrickLayout(N, BRICK), BRICK, cache)
+    ijk = measure_sweep(RowMajorLayout(N), BRICK, cache)
+    print(f"\nachieved-AI fraction at 4KB (Table V's quantity): "
+          f"brick {brick.ai_fraction:.2f}, conventional {ijk.ai_fraction:.2f}")
+    print(f"cache hit rates: brick {brick.hit_rate * 100:.1f}%, "
+          f"conventional {ijk.hit_rate * 100:.1f}%")
+
+
+def tlb_study() -> None:
+    """Section III also credits bricks with exploiting TLBs: measure
+    page walks for the same sweep through a small translation cache."""
+    from repro.memsim import TLBConfig, measure_sweep_tlb, pages_per_tile
+
+    print("\nTLB behaviour (8-entry TLB, 4KB pages):")
+    tlb = TLBConfig(entries=8)
+    for layout in (BrickLayout(32, BRICK), RowMajorLayout(32)):
+        m = measure_sweep_tlb(layout, BRICK, tlb)
+        print(f"  {m.layout_name:<16s} page walks {m.page_walks:>6d}  "
+              f"walk rate {m.walk_rate * 100:.2f}%  "
+              f"pages/tile {pages_per_tile(layout, BRICK):.1f}")
+
+
+if __name__ == "__main__":
+    main()
+    tlb_study()

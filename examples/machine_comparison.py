@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""The paper's 8-node machine comparison (Section VI).
+
+Prices the 1024^3, 6-level, 12-V-cycle workload on the Perlmutter,
+Frontier and Sunspot machine models and prints:
+
+* Figure 3 — total time per multigrid level;
+* Figure 4 — time per V-cycle vs the HPGMG-style baseline;
+* Table II — finest-level operation breakdown;
+* Figures 5/6 — kernel GStencil/s and exchange GB/s across levels,
+  with the fitted latency/bandwidth model parameters;
+* artifact-format per-rank timing rows ([min, avg, max] (sigma)).
+
+Run:  python examples/machine_comparison.py
+"""
+
+import numpy as np
+
+from repro.harness import experiments as E
+from repro.harness import reporting as R
+from repro.harness.vcycle_sim import TimedSolve, WorkloadConfig
+from repro.machines import MACHINES
+from repro.perf import TimingStat, format_level_timing
+
+
+def artifact_style_rows(machine_name: str) -> None:
+    """Emit per-op rows in the artifact's output format, with the
+    cross-rank spread synthesised from the model time (the simulator is
+    deterministic; ranks differ only via their neighbour placement)."""
+    ts = TimedSolve(MACHINES[machine_name], WorkloadConfig())
+    rng = np.random.default_rng(0)
+    print(f"\n{machine_name} per-invocation timings (artifact format):")
+    for lev in (0, 1):
+        for op in ("applyOp", "smooth+residual"):
+            t = ts.kernel_seconds(op, lev)
+            samples = t * rng.normal(1.0, 0.0005, size=8)
+            print("  " + format_level_timing(lev, op, TimingStat.from_samples(samples)))
+
+
+def main() -> None:
+    print(R.render_fig3(E.fig3_time_per_level()))
+    print(R.render_fig4(E.fig4_vs_hpgmg()))
+    print(R.render_table2(E.table2_op_breakdown()))
+    print(R.render_fig5(E.fig5_kernel_throughput("applyOp")))
+    print(R.render_fig5(E.fig5_kernel_throughput("smooth+residual")))
+    print(R.render_fig6(E.fig6_exchange_bandwidth()))
+    for name in MACHINES:
+        artifact_style_rows(name)
+
+
+if __name__ == "__main__":
+    main()

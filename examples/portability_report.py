@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Performance-portability report (paper Section VII).
+
+Prints the reproduction of Tables III, IV and V and the Figure 7
+potential-speedup analysis for the three GPU systems, using the public
+experiment drivers.
+
+Run:  python examples/portability_report.py
+"""
+
+from repro.harness import experiments as E
+from repro.harness import reporting as R
+from repro.perf import ai_comparison_rows
+
+
+def main() -> None:
+    print(R.render_table4(ai_comparison_rows()))
+    print(R.render_portability(
+        E.table3_portability_roofline(),
+        "Table III — Phi based on fraction of the Roofline",
+    ))
+    print(R.render_portability(
+        E.table5_portability_ai(),
+        "Table V — Phi based on fraction of theoretical AI",
+    ))
+    print(R.render_fig7(E.fig7_potential_speedup()))
+
+    t3 = E.table3_portability_roofline()
+    t5 = E.table5_portability_ai()
+    print(f"headline numbers: Phi(roofline) = {t3.overall_phi * 100:.0f}% "
+          f"(paper: 73%), Phi(theoretical AI) = {t5.overall_phi * 100:.0f}% "
+          f"(paper: 92%)")
+
+
+if __name__ == "__main__":
+    main()

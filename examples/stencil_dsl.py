@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Author a custom stencil in the DSL and inspect the generated kernel.
+
+Reproduces the workflow of the paper's Figure 1 — write the stencil in
+a Python-syntax DSL, let the vector code generator produce the
+optimised kernel — for two stencils:
+
+* the paper's 7-point applyOp (radius 1, constant coefficients);
+* a 13-point fourth-order Laplacian (radius 2) showing that the same
+  machinery handles wider stencils ("this format is fairly flexible,
+  including larger stencils").
+
+The generated source is printed so the vector-folding slices and the
+hoisted common subexpressions are visible, then each kernel is executed
+on bricked data and checked against a dense NumPy oracle.
+
+Run:  python examples/stencil_dsl.py
+"""
+
+import numpy as np
+
+from repro.bricks import BrickGrid, BrickedArray
+from repro.dsl import ConstRef, Grid, Stencil, analyze, compile_stencil, indices
+
+
+def build_fourth_order_laplacian() -> Stencil:
+    """13-point fourth-order accurate Laplacian: per axis
+    (-1/12, 16/12, -30/12, 16/12, -1/12) / h^2."""
+    i, j, k = indices()
+    x, out = Grid("x"), Grid("lap")
+    inv_h2 = ConstRef("inv_h2")
+    axis_sum = (
+        16.0 * (x(i + 1, j, k) + x(i - 1, j, k)
+                + x(i, j + 1, k) + x(i, j - 1, k)
+                + x(i, j, k + 1) + x(i, j, k - 1))
+        - (x(i + 2, j, k) + x(i - 2, j, k)
+           + x(i, j + 2, k) + x(i, j - 2, k)
+           + x(i, j, k + 2) + x(i, j, k - 2))
+        - 90.0 * x(i, j, k)
+    )
+    return Stencil("laplacian4", [out(i, j, k).assign(inv_h2 / 12.0 * axis_sum)])
+
+
+def dense_laplacian4(x: np.ndarray, inv_h2: float) -> np.ndarray:
+    out = -90.0 * x
+    for axis in range(3):
+        out += 16.0 * (np.roll(x, 1, axis) + np.roll(x, -1, axis))
+        out -= np.roll(x, 2, axis) + np.roll(x, -2, axis)
+    return inv_h2 / 12.0 * out
+
+
+def main() -> None:
+    stencil = build_fourth_order_laplacian()
+    an = analyze(stencil)
+    print(f"stencil {an.name!r}: radius {an.radius}, "
+          f"{an.flops_per_point} flops/pt, {an.bytes_per_point} B/pt, "
+          f"AI {an.arithmetic_intensity:.3f} FLOP/B")
+
+    kernel = compile_stencil(stencil, brick_dim=4)
+    print("\ngenerated kernel source:\n")
+    print(kernel.source)
+
+    grid = BrickGrid((8, 8, 8), 4)
+    rng = np.random.default_rng(42)
+    dense = rng.random(grid.shape_cells)
+    x = BrickedArray.from_ijk(grid, dense)
+    x.fill_ghost_periodic()
+    lap = BrickedArray.zeros(grid)
+    kernel.apply({"x": x, "lap": lap}, {"inv_h2": 1024.0})
+
+    oracle = dense_laplacian4(dense, 1024.0)
+    err = np.abs(lap.to_ijk() - oracle).max() / np.abs(oracle).max()
+    print(f"relative error vs dense NumPy oracle: {err:.2e}")
+    assert err < 1e-13
+
+    # a glance at the paper's own Fig. 1 stencil, for comparison
+    from repro.dsl import APPLY_OP
+
+    print("\nthe paper's 7-point applyOp compiles to:\n")
+    print(compile_stencil(APPLY_OP, brick_dim=4).source)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Variable-coefficient diffusion through the same brick machinery.
+
+The paper's model problem is constant-coefficient Poisson "for easy
+performance comparison", but its DSL handles non-constant coefficients
+and its HPGMG baseline is a variable-coefficient FV code.  This script
+solves ``-div(beta grad u) = f`` with a smoothly varying ``beta`` —
+same bricks, same communication-avoiding V-cycle, coefficients carried
+as extra bricked fields and volume-averaged onto the coarse levels —
+and verifies against a manufactured solution.
+
+Run:  python examples/variable_coefficients.py
+"""
+
+import numpy as np
+
+from repro.gmg.varcoef import VariableCoefficientSolver
+
+
+def beta(x, y, z):
+    """A smooth coefficient with a ~10:1 contrast (stays positive)."""
+    return 1.0 + 0.55 * np.sin(2 * np.pi * x) * np.cos(2 * np.pi * y) + (
+        0.35 * np.cos(2 * np.pi * z)
+    )
+
+
+def main() -> None:
+    n = 32
+    solver = VariableCoefficientSolver(
+        beta, global_cells=n, num_levels=3, brick_dim=4,
+        max_smooths=8, bottom_smooths=60, rank_dims=(2, 1, 1),
+    )
+    print(f"variable-coefficient GMG on {n}^3, beta in "
+          f"[{beta(0.75, 0.25, 0.5):.2f}, {beta(0.25, 0.0, 0.0):.2f}] "
+          f"(smooth 4:1 contrast), 2 simulated ranks")
+
+    # manufactured solution: compute b = A u, then recover u
+    c = (np.arange(n) + 0.5) / n
+    u = (
+        np.sin(2 * np.pi * c)[:, None, None]
+        * np.sin(4 * np.pi * c)[None, :, None]
+        * np.cos(2 * np.pi * c)[None, None, :]
+    )
+    u -= u.mean()
+    solver.set_rhs(solver.apply_operator(u))
+    result = solver.solve(tol=1e-9, max_vcycles=60)
+
+    print("\nresidual history:")
+    for cyc, res in enumerate(result.residual_history):
+        print(f"  cycle {cyc:2d}: {res:.3e}")
+    sol = solver.solution()
+    sol -= sol.mean()
+    print(f"\nconverged: {result.converged} in {result.num_vcycles} V-cycles")
+    print(f"max error vs manufactured solution: {np.abs(sol - u).max():.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — reproduction of "High-Performance, Scalable Geometric
+Multigrid via Fine-Grain Data Blocking for GPUs" (SC 2024).
+
+Layered like the system the paper describes:
+
+* :mod:`repro.bricks` — fine-grain data blocking (the BrickLib layout);
+* :mod:`repro.dsl` — the stencil DSL, analysis, and NumPy vector code
+  generation;
+* :mod:`repro.gmg` — the geometric multigrid solver (and the
+  HPGMG-style baseline);
+* :mod:`repro.comm` — the simulated-MPI communication substrate;
+* :mod:`repro.machines` — calibrated Perlmutter/Frontier/Sunspot
+  GPU+network models;
+* :mod:`repro.perf` — linear latency/bandwidth models, roofline
+  fractions, the performance-portability metric;
+* :mod:`repro.memsim` — cache simulation demonstrating the layout's
+  data-movement advantage from first principles;
+* :mod:`repro.harness` — one experiment driver per paper figure/table.
+
+Quickstart::
+
+    from repro.gmg import GMGSolver, SolverConfig
+    result = GMGSolver(SolverConfig(global_cells=32, num_levels=3,
+                                    brick_dim=4)).solve()
+    assert result.converged
+"""
+
+__version__ = "1.0.0"
+
+from repro.gmg import GMGSolver, SolveResult, SolverConfig
+
+__all__ = ["GMGSolver", "SolverConfig", "SolveResult", "__version__"]

@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the paper artifact's runner (``<exe> -s 512,512,512 -I 10 -l 6
+-n 20``): a ``solve`` command for the functional solver plus one
+command per paper experiment, printing the same rows the paper
+reports.  ``all`` regenerates everything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.gmg import GMGSolver, SolverConfig
+
+    dims = tuple(int(v) for v in args.ranks.split(","))
+    config = SolverConfig(
+        global_cells=args.size,
+        num_levels=args.levels,
+        brick_dim=args.brick,
+        max_smooths=args.smooths,
+        bottom_smooths=args.bottom,
+        max_vcycles=args.max_cycles,
+        rank_dims=dims,
+        smoother=args.smoother,
+        bottom_solver=args.bottom_solver,
+        cycle=args.cycle,
+        boundary=args.boundary,
+        communication_avoiding=not args.no_ca,
+    )
+    solver = GMGSolver(config)
+    print(
+        f"solving {args.size}^3 over {config.num_ranks} rank(s), "
+        f"{args.levels} levels, {args.brick}^3 bricks, "
+        f"smoother={args.smoother}, bottom={args.bottom_solver}, "
+        f"cycle={args.cycle}, boundary={args.boundary}"
+    )
+    result = solver.solve()
+    for cycle, res in enumerate(result.residual_history):
+        print(f"  cycle {cycle:2d}: maxNormRes = {res:.6e}")
+    print(
+        f"converged={result.converged} in {result.num_vcycles} cycles "
+        f"(convergence factor {result.convergence_factor:.3f})"
+    )
+    if args.verify:
+        from repro.gmg import discrete_solution
+        from repro.gmg.problem import discrete_solution_dirichlet
+
+        if args.boundary == "dirichlet":
+            exact = discrete_solution_dirichlet((args.size,) * 3, 1.0 / args.size)
+        elif args.boundary == "neumann":
+            print("(no closed-form reference for the Neumann variant)")
+            return 0 if result.converged else 1
+        else:
+            exact = discrete_solution((args.size,) * 3, 1.0 / args.size)
+        err = float(np.abs(solver.solution() - exact).max())
+        print(f"max error vs closed-form discrete solution: {err:.3e}")
+    return 0 if result.converged else 1
+
+
+def _experiment_commands() -> dict:
+    from repro.harness import experiments as E
+    from repro.harness import reporting as R
+    from repro.perf import ai_comparison_rows
+
+    def scaling(fn):
+        def run() -> str:
+            return "\n".join(
+                R.render_scaling(fn(m))
+                for m in ("Perlmutter", "Frontier", "Sunspot")
+            )
+
+        return run
+
+    return {
+        "fig3": lambda: R.render_fig3(E.fig3_time_per_level()),
+        "fig4": lambda: R.render_fig4(E.fig4_vs_hpgmg()),
+        "table2": lambda: R.render_table2(E.table2_op_breakdown()),
+        "fig5": lambda: (
+            R.render_fig5(E.fig5_kernel_throughput("applyOp"))
+            + R.render_fig5(E.fig5_kernel_throughput("smooth+residual"))
+        ),
+        "fig6": lambda: R.render_fig6(E.fig6_exchange_bandwidth()),
+        "table3": lambda: R.render_portability(
+            E.table3_portability_roofline(), "Table III — Phi (Roofline fraction)"
+        ),
+        "table4": lambda: R.render_table4(ai_comparison_rows()),
+        "table5": lambda: R.render_portability(
+            E.table5_portability_ai(), "Table V — Phi (theoretical AI fraction)"
+        ),
+        "fig7": lambda: R.render_fig7(E.fig7_potential_speedup()),
+        "fig8": scaling(E.fig8_weak_scaling),
+        "fig9": scaling(E.fig9_strong_scaling),
+        "ablations": lambda: "\n".join(
+            R.render_ablation(E.ablation_optimizations(m))
+            for m in ("Perlmutter", "Frontier", "Sunspot")
+        ),
+    }
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    commands = _experiment_commands()
+    names = list(commands) if args.which == "all" else [args.which]
+    for name in names:
+        print(commands[name]())
+    if args.json:
+        from repro.harness.export import export_all
+
+        written = export_all(args.json)
+        print(f"wrote {len(written)} JSON series to {args.json}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.harness.validation import render_validation, run_validation
+
+    results = run_validation()
+    print(render_validation(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_autotune(args: argparse.Namespace) -> int:
+    from repro.harness.autotune import autotune, render_tuning
+    from repro.machines import MACHINES
+
+    machines = list(MACHINES) if args.machine == "all" else [args.machine]
+    for name in machines:
+        print(render_tuning(autotune(MACHINES[name])))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Brick-based geometric multigrid (SC 2024 reproduction): "
+            "functional solves and paper-experiment regeneration."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="run the functional GMG solver")
+    solve.add_argument("-s", "--size", type=int, default=32,
+                       help="global cells per dimension (default 32)")
+    solve.add_argument("-l", "--levels", type=int, default=3,
+                       help="multigrid levels (default 3)")
+    solve.add_argument("-b", "--brick", type=int, default=4,
+                       help="brick dimension (default 4)")
+    solve.add_argument("--smooths", type=int, default=12,
+                       help="smooths per level visit (default 12)")
+    solve.add_argument("--bottom", type=int, default=100,
+                       help="bottom-solver iterations (default 100)")
+    solve.add_argument("-n", "--max-cycles", type=int, default=100,
+                       help="maximum cycles (default 100)")
+    solve.add_argument("--ranks", default="1,1,1",
+                       help="rank grid, e.g. 2,2,2 (default 1,1,1)")
+    solve.add_argument("--smoother", default="jacobi",
+                       choices=["jacobi", "gsrb", "sor", "chebyshev"])
+    solve.add_argument("--bottom-solver", default="relaxation",
+                       choices=["relaxation", "cg", "fft"])
+    solve.add_argument("--cycle", default="V", choices=["V", "W", "F"])
+    solve.add_argument("--boundary", default="periodic",
+                       choices=["periodic", "dirichlet", "neumann"])
+    solve.add_argument("--no-ca", action="store_true",
+                       help="disable communication-avoiding smoothing")
+    solve.add_argument("--verify", action="store_true",
+                       help="check against the closed-form solution")
+    solve.set_defaults(func=_cmd_solve)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument(
+        "which",
+        choices=sorted(_choices()) + ["all"],
+        help="which paper element to regenerate",
+    )
+    experiment.add_argument(
+        "--json",
+        metavar="DIR",
+        help="also export every experiment's data series as JSON into DIR",
+    )
+    experiment.set_defaults(func=_cmd_experiment)
+
+    tune = sub.add_parser(
+        "autotune", help="rank brick/ordering/CA/MPI configurations"
+    )
+    tune.add_argument(
+        "machine",
+        nargs="?",
+        default="all",
+        choices=["Perlmutter", "Frontier", "Sunspot", "all"],
+    )
+    tune.set_defaults(func=_cmd_autotune)
+
+    validate = sub.add_parser(
+        "validate", help="run the artifact-style self-checks"
+    )
+    validate.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def _choices() -> list[str]:
+    return [
+        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+        "table2", "table3", "table4", "table5", "ablations",
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

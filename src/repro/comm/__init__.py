@@ -1,0 +1,43 @@
+"""Communication substrate: simulated MPI over a Cartesian rank grid.
+
+The paper runs on Cray-MPICH with GPU-aware MPI over Slingshot 11; this
+environment has no MPI (and no network at all), so the substrate is a
+single-process SPMD simulator that preserves MPI's semantics:
+
+* :class:`~repro.comm.topology.CartTopology` — periodic 3-D Cartesian
+  decomposition with 26-neighbour connectivity;
+* :class:`~repro.comm.simmpi.SimComm` — non-blocking
+  ``Isend``/``Irecv``/``Waitall``-style message passing between rank
+  mailboxes, with tag matching and per-rank statistics;
+* :class:`~repro.comm.exchange.HaloExchange` — the V-cycle's
+  ``exchange()``: ghost-brick exchange with all 26 neighbours, message
+  aggregation across fields, and pack/unpack segment accounting driven
+  by the brick storage ordering;
+* :mod:`~repro.comm.protocols` — eager/rendezvous message protocol
+  selection mirroring the CXI environment variables of Table I;
+* :mod:`~repro.comm.mapping` — CPU–GPU–NIC binding models.
+
+Functional correctness is real: distributed solves move actual NumPy
+data between rank subdomains and must match single-rank solves exactly.
+Message *timing* is priced separately by :mod:`repro.machines.network`.
+"""
+
+from repro.comm.exchange import HaloExchange, LocalPeriodicExchange
+from repro.comm.mapping import NicBinding, binding_hop_penalty
+from repro.comm.protocols import CxiSettings, Protocol, select_protocol
+from repro.comm.simmpi import RecvRequest, SendRequest, SimComm
+from repro.comm.topology import CartTopology
+
+__all__ = [
+    "CartTopology",
+    "SimComm",
+    "SendRequest",
+    "RecvRequest",
+    "HaloExchange",
+    "LocalPeriodicExchange",
+    "Protocol",
+    "CxiSettings",
+    "select_protocol",
+    "NicBinding",
+    "binding_hop_penalty",
+]

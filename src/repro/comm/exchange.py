@@ -1,0 +1,238 @@
+"""Ghost-brick exchange: the V-cycle's ``exchange()`` operation.
+
+Each rank sends, for every one of its 26 neighbour directions, the
+interior bricks the neighbour's ghost shell needs, and receives the
+matching region into its own ghost bricks.  Because the ghost shell is
+a full brick deep, one exchange validates ``brick_dim`` cells of halo —
+the basis of communication-avoiding smoothing.
+
+Two cost-relevant properties are recorded per message:
+
+* *aggregation*: multiple fields (``x`` and ``b``) destined for the
+  same neighbour travel in one message (Section V's "message
+  aggregation across multiple smoothing operations");
+* *segments*: the number of contiguous storage ranges the payload
+  occupies under the grid's ordering — 1 means pack-free/unpack-free,
+  which the surface-major ordering guarantees for every receive.
+
+:class:`LocalPeriodicExchange` provides the single-rank equivalent
+(periodic wrap) with the same interface so the V-cycle driver is
+decomposition-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bricks.brick_grid import (
+    NEIGHBOR_DIRECTIONS,
+    BrickGrid,
+    direction_index,
+    direction_kind,
+)
+from repro.bricks.bricked_array import BrickedArray
+from repro.bricks.orderings import contiguous_segments
+from repro.comm.simmpi import SimComm
+from repro.comm.topology import CartTopology
+from repro.instrument import Recorder
+
+
+class LocalPeriodicExchange:
+    """Single-rank 'exchange': periodic wrap within the one subdomain.
+
+    Records the same message events a real 26-neighbour exchange would
+    (marked ``self_message``) so operation-count validation works
+    uniformly.  With a non-periodic ``boundary``, ghost bricks are
+    synthesised by the boundary condition instead (no messages at all —
+    a single rank owns the whole domain).
+    """
+
+    def __init__(
+        self,
+        grid: BrickGrid,
+        recorder: Recorder | None = None,
+        boundary=None,
+    ) -> None:
+        from repro.gmg.boundary import BoundaryCondition, BoundaryFill
+
+        self.grid = grid
+        self.recorder = recorder
+        self.boundary = boundary or BoundaryCondition.PERIODIC
+        self._fill = None
+        if self.boundary is not BoundaryCondition.PERIODIC:
+            self._fill = BoundaryFill(
+                grid, ((True, True),) * 3, self.boundary
+            )
+
+    def exchange(
+        self, level: int, fields_by_rank: Sequence[Sequence[BrickedArray]]
+    ) -> None:
+        """Fill ghost shells; ``fields_by_rank`` is ``[[fields of rank 0]]``."""
+        if len(fields_by_rank) != 1:
+            raise ValueError("LocalPeriodicExchange serves exactly one rank")
+        for field in fields_by_rank[0]:
+            if field.grid is not self.grid:
+                raise ValueError("field grid does not match the exchanger's grid")
+            if self._fill is None:
+                field.fill_ghost_periodic()
+            else:
+                field.zero_ghost()
+                self._fill.apply(field)
+        if self._fill is not None:
+            if self.recorder is not None:
+                self.recorder.exchange(level)
+            return
+        if self.recorder is not None:
+            self.recorder.exchange(level)
+            nfields = len(fields_by_rank[0])
+            itemsize = fields_by_rank[0][0].data.dtype.itemsize
+            for d in NEIGHBOR_DIRECTIONS:
+                nbytes = self.grid.region_num_bytes(d, itemsize) * nfields
+                self.recorder.message(
+                    level,
+                    nbytes,
+                    direction_kind(d),
+                    segments=1,
+                    self_message=True,
+                )
+
+
+class HaloExchange:
+    """Collective 26-neighbour ghost-brick exchange over ``SimComm``.
+
+    The driver runs ranks in lockstep: all sends for all ranks are
+    posted first, then all receives complete (``Isend``/``Irecv``/
+    ``Waitall`` order within one phase).  Fields are aggregated per
+    neighbour into a single message.
+    """
+
+    def __init__(
+        self,
+        grid: BrickGrid,
+        topology: CartTopology,
+        comm: SimComm,
+        recorder: Recorder | None = None,
+        boundary=None,
+    ) -> None:
+        from repro.gmg.boundary import BoundaryCondition, BoundaryFill
+
+        if topology.size != comm.size:
+            raise ValueError(
+                f"topology has {topology.size} ranks but comm has {comm.size}"
+            )
+        self.grid = grid
+        self.topology = topology
+        self.comm = comm
+        self.recorder = recorder
+        self.boundary = boundary or BoundaryCondition.PERIODIC
+        if topology.periodic != (self.boundary is BoundaryCondition.PERIODIC):
+            raise ValueError(
+                "topology periodicity must match the boundary condition"
+            )
+        self._fills = None
+        if self.boundary is not BoundaryCondition.PERIODIC:
+            self._fills = [
+                BoundaryFill(grid, topology.boundary_sides(rank), self.boundary)
+                for rank in range(topology.size)
+            ]
+        # Precompute per-direction slot sets and segment counts once.
+        self._send_slots = {
+            d: grid.send_region_slots(d) for d in NEIGHBOR_DIRECTIONS
+        }
+        self._ghost_slots = {
+            d: grid.ghost_region_slots(d) for d in NEIGHBOR_DIRECTIONS
+        }
+        self._send_segments = {
+            d: len(contiguous_segments(s)) for d, s in self._send_slots.items()
+        }
+        self._recv_segments = {
+            d: len(contiguous_segments(s)) for d, s in self._ghost_slots.items()
+        }
+
+    @property
+    def recv_is_unpack_free(self) -> bool:
+        """True when every receive lands in one contiguous segment."""
+        return all(n == 1 for n in self._recv_segments.values())
+
+    def exchange(
+        self, level: int, fields_by_rank: Sequence[Sequence[BrickedArray]]
+    ) -> None:
+        """Exchange ghost bricks for every rank's listed fields.
+
+        ``fields_by_rank[rank]`` is the (ordered) list of fields to
+        aggregate; all ranks must pass the same number of fields.
+        """
+        size = self.topology.size
+        if len(fields_by_rank) != size:
+            raise ValueError(
+                f"need fields for all {size} ranks, got {len(fields_by_rank)}"
+            )
+        nfields = len(fields_by_rank[0])
+        if any(len(f) != nfields for f in fields_by_rank):
+            raise ValueError("all ranks must exchange the same fields")
+        for fields in fields_by_rank:
+            for field in fields:
+                if field.grid.shape_bricks != self.grid.shape_bricks or (
+                    field.grid.brick_dim != self.grid.brick_dim
+                ):
+                    raise ValueError("field grid incompatible with exchanger grid")
+
+        # Phase 1: every rank posts one aggregated send per direction.
+        for rank in range(size):
+            fields = fields_by_rank[rank]
+            for d in NEIGHBOR_DIRECTIONS:
+                dst = self.topology.neighbor(rank, d)
+                if dst is None:
+                    continue  # domain boundary: nothing to send
+                payload = np.stack(
+                    [f.data[self._send_slots[d]] for f in fields]
+                )
+                tag = direction_index(d)
+                self.comm.isend(rank, dst, tag, payload)
+                if self.recorder is not None:
+                    self.recorder.message(
+                        level,
+                        payload.nbytes,
+                        direction_kind(d),
+                        segments=self._send_segments[d] * nfields,
+                        self_message=(dst == rank),
+                    )
+
+        # Phase 2: every rank completes its 26 receives.  Data arriving
+        # from the neighbour along d was sent with tag direction(d)
+        # (the sender's direction towards us is -(-d) = d as the tag of
+        # its send region towards direction d... the send loop tags by
+        # the *sender's* direction, which from our neighbour at -d
+        # pointing back to us is d's opposite); see the matching rule
+        # in BrickGrid.send_region_slots.
+        for rank in range(size):
+            fields = fields_by_rank[rank]
+            for d in NEIGHBOR_DIRECTIONS:
+                src = self.topology.neighbor(rank, d)
+                if src is None:
+                    continue  # filled by the boundary condition below
+                # Our ghost region in direction d is the neighbour's
+                # send region in direction -d, tagged with -d's index.
+                tag = direction_index(tuple(-c for c in d))
+                payload = self.comm.irecv(rank, src, tag).wait()
+                ghost = self._ghost_slots[d]
+                expected = (nfields, len(ghost)) + (self.grid.brick_dim,) * 3
+                if payload.shape != expected:
+                    raise RuntimeError(
+                        f"ghost region shape mismatch: got {payload.shape}, "
+                        f"expected {expected}"
+                    )
+                for f_idx, field in enumerate(fields):
+                    field.data[ghost] = payload[f_idx]
+
+        # Phase 3: boundary conditions synthesise the outward ghosts
+        # (after all receives — corner mirrors read exchanged ghosts).
+        if self._fills is not None:
+            for rank in range(size):
+                for field in fields_by_rank[rank]:
+                    self._fills[rank].apply(field)
+
+        if self.recorder is not None:
+            self.recorder.exchange(level)

@@ -1,0 +1,70 @@
+"""CPU–GPU–NIC binding models (Section V, "Optimal Mapping").
+
+On Perlmutter and Sunspot the NICs hang off the CPUs, so a GPU-resident
+message must cross the CPU's PCIe/fabric attach point; on Frontier the
+NICs attach directly to the GCDs.  With the *correct* binding
+(``MPICH_OFI_NIC_POLICY=GPU`` or manual affinity), each rank talks to
+its nearest NIC and pays at most one interconnect hop; with a wrong
+binding the message crosses the node's internal fabric an extra time.
+
+The binding model produces a per-message latency/bandwidth penalty pair
+consumed by :mod:`repro.machines.network`; the 8-node experiments and
+the scaling studies all use the paper's best ("closest") mappings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class NicBinding(enum.Enum):
+    """Quality of the rank's CPU–GPU–NIC mapping."""
+
+    CLOSEST = "closest"  # MPICH_OFI_NIC_POLICY=GPU / manual affinity
+    DEFAULT = "default"  # first NIC regardless of locality
+    WORST = "worst"  # deliberately crossing the whole node fabric
+
+
+@dataclass(frozen=True)
+class BindingPenalty:
+    """Extra cost per message from a (mis)binding."""
+
+    latency_s: float
+    bandwidth_factor: float  # multiplies attainable NIC bandwidth
+
+
+#: Hop penalties, calibrated so that a wrong binding costs a few extra
+#: microseconds of latency and a sizeable bandwidth haircut from the
+#: additional traversal of the on-node fabric — consistent with the
+#: paper's insistence that mapping is "crucial" (Section V).
+_PENALTIES = {
+    NicBinding.CLOSEST: BindingPenalty(latency_s=0.0, bandwidth_factor=1.0),
+    NicBinding.DEFAULT: BindingPenalty(latency_s=2.0e-6, bandwidth_factor=0.75),
+    NicBinding.WORST: BindingPenalty(latency_s=5.0e-6, bandwidth_factor=0.5),
+}
+
+
+def binding_hop_penalty(
+    binding: NicBinding, nic_attached_to_gpu: bool
+) -> BindingPenalty:
+    """Penalty for one message under ``binding``.
+
+    When the NIC attaches directly to the GPU (Frontier), the closest
+    binding is a true zero-hop path; when it attaches to the CPU
+    (Perlmutter/Sunspot), even the closest binding crosses the
+    CPU-GPU link once, which the network model already accounts for
+    via the GPU-aware/host-staged path — so the penalty here is only
+    the *additional* cost of a suboptimal choice.
+    """
+    penalty = _PENALTIES[binding]
+    if binding is NicBinding.CLOSEST:
+        return penalty
+    # Misbindings hurt more when the NIC is GPU-attached, because the
+    # detour crosses both the GPU fabric and the CPU complex.
+    if nic_attached_to_gpu:
+        return BindingPenalty(
+            latency_s=penalty.latency_s * 1.5,
+            bandwidth_factor=penalty.bandwidth_factor * 0.9,
+        )
+    return penalty

@@ -1,0 +1,139 @@
+"""Single-process simulated MPI with non-blocking semantics.
+
+The solver's exchange follows the paper's pattern — ``MPI_Isend`` /
+``MPI_Irecv`` / ``MPI_Waitall`` with 26 neighbours — so the simulator
+exposes the same shape: sends are posted (payload snapshotted, as a
+correct MPI program may reuse its buffer after completion), receives
+are posted against ``(source, tag)`` and completed by ``wait``.
+
+The driver executes ranks in lockstep phases, so by the time any rank
+waits on a receive, the matching send has been posted; an unmatched
+wait is therefore a protocol bug and raises.  Message payloads are real
+NumPy arrays — distributed solves genuinely move data between rank
+subdomains.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class SendRequest:
+    """Completed-at-post send handle (buffered-send semantics)."""
+
+    dst: int
+    tag: int
+    nbytes: int
+
+    def wait(self) -> None:
+        """Sends complete at post time in the simulator."""
+
+
+class RecvRequest:
+    """A posted receive; :meth:`wait` returns the payload."""
+
+    def __init__(self, comm: "SimComm", dst: int, src: int, tag: int) -> None:
+        self._comm = comm
+        self._dst = dst
+        self._src = src
+        self._tag = tag
+        self._payload: np.ndarray | None = None
+        self._done = False
+
+    def wait(self) -> np.ndarray:
+        """Complete the receive, returning the message payload."""
+        if not self._done:
+            self._payload = self._comm._match(self._dst, self._src, self._tag)
+            self._done = True
+        assert self._payload is not None
+        return self._payload
+
+
+class SimComm:
+    """Mailbox-based message passing among ``size`` simulated ranks."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"size must be positive: {size}")
+        self.size = int(size)
+        # (dst, src, tag) -> FIFO of payloads, preserving MPI's
+        # non-overtaking order for identical envelopes.
+        self._mailboxes: dict[tuple[int, int, int], deque] = defaultdict(deque)
+        self.sent_messages = 0
+        self.sent_bytes = 0
+        self.bytes_by_pair: dict[tuple[int, int], int] = defaultdict(int)
+
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"{what} {rank} out of range for size {self.size}")
+
+    # ------------------------------------------------------------------
+    # point to point
+    # ------------------------------------------------------------------
+    def isend(self, src: int, dst: int, tag: int, payload: np.ndarray) -> SendRequest:
+        """Post a send; the payload is snapshotted at post time."""
+        self._check_rank(src, "source rank")
+        self._check_rank(dst, "destination rank")
+        data = np.ascontiguousarray(payload).copy()
+        self._mailboxes[(dst, src, tag)].append(data)
+        self.sent_messages += 1
+        self.sent_bytes += data.nbytes
+        self.bytes_by_pair[(src, dst)] += data.nbytes
+        return SendRequest(dst=dst, tag=tag, nbytes=data.nbytes)
+
+    def irecv(self, dst: int, src: int, tag: int) -> RecvRequest:
+        """Post a receive for ``(src, tag)`` at rank ``dst``."""
+        self._check_rank(src, "source rank")
+        self._check_rank(dst, "destination rank")
+        return RecvRequest(self, dst, src, tag)
+
+    def _match(self, dst: int, src: int, tag: int) -> np.ndarray:
+        box = self._mailboxes.get((dst, src, tag))
+        if not box:
+            raise RuntimeError(
+                f"deadlock: rank {dst} waits on a message from rank {src} "
+                f"tag {tag} that was never sent"
+            )
+        return box.popleft()
+
+    def waitall(self, requests: list) -> list:
+        """Complete a batch of requests, returning receive payloads."""
+        return [req.wait() for req in requests]
+
+    # ------------------------------------------------------------------
+    # collectives (lockstep driver supplies all ranks' values at once)
+    # ------------------------------------------------------------------
+    def allreduce_max(self, values: list[float]) -> float:
+        """MAX all-reduce over one contribution per rank."""
+        if len(values) != self.size:
+            raise ValueError(
+                f"allreduce needs one value per rank: got {len(values)}, "
+                f"size {self.size}"
+            )
+        return float(max(values))
+
+    def allreduce_sum(self, values: list[float]) -> float:
+        """SUM all-reduce over one contribution per rank."""
+        if len(values) != self.size:
+            raise ValueError(
+                f"allreduce needs one value per rank: got {len(values)}, "
+                f"size {self.size}"
+            )
+        return float(sum(values))
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def assert_drained(self) -> None:
+        """Raise if any posted message was never received.
+
+        Called at the end of a solve: leftover messages mean mismatched
+        send/receive bookkeeping even though results looked right.
+        """
+        leftovers = {k: len(v) for k, v in self._mailboxes.items() if v}
+        if leftovers:
+            raise RuntimeError(f"undelivered messages remain: {leftovers}")

@@ -1,0 +1,153 @@
+"""Periodic 3-D Cartesian rank topology with 26-neighbour connectivity.
+
+Ranks are laid out in a ``(p0, p1, p2)`` grid in row-major order, the
+same decomposition the paper uses for its cubic domains.  Every rank
+has exactly 26 neighbours (faces, edges, corners) under periodic
+boundary conditions; on small rank grids several of those neighbours
+may coincide (including with the rank itself), exactly as with
+``MPI_Cart_create`` and periodic wrap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bricks.brick_grid import NEIGHBOR_DIRECTIONS, direction_kind
+
+
+class CartTopology:
+    """A periodic Cartesian process grid.
+
+    Parameters
+    ----------
+    dims:
+        Ranks per dimension, e.g. ``(2, 2, 2)`` for 8 ranks.
+    ranks_per_node:
+        How many consecutive ranks share a node (4 on Perlmutter, 8 on
+        Frontier, 12 on Sunspot).  Used to classify messages as intra-
+        vs inter-node for the network model.
+    """
+
+    def __init__(
+        self,
+        dims: tuple[int, int, int],
+        ranks_per_node: int = 1,
+        periodic: bool = True,
+    ) -> None:
+        dims = tuple(int(d) for d in dims)
+        if len(dims) != 3 or any(d < 1 for d in dims):
+            raise ValueError(f"dims must be three positive integers: {dims}")
+        if ranks_per_node < 1:
+            raise ValueError(f"ranks_per_node must be positive: {ranks_per_node}")
+        self.dims = dims
+        self.size = dims[0] * dims[1] * dims[2]
+        self.ranks_per_node = int(ranks_per_node)
+        self.periodic = bool(periodic)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes (last node may be partially filled)."""
+        return -(-self.size // self.ranks_per_node)
+
+    def coords_of(self, rank: int) -> tuple[int, int, int]:
+        """Cartesian coordinates of ``rank`` (row-major layout)."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range for size {self.size}")
+        p0, p1, p2 = self.dims
+        return (rank // (p1 * p2), (rank // p2) % p1, rank % p2)
+
+    def rank_of(self, coords: tuple[int, int, int]) -> int:
+        """Rank at (periodically wrapped) Cartesian coordinates."""
+        p = self.dims
+        c = tuple(int(coords[d]) % p[d] for d in range(3))
+        return (c[0] * p[1] + c[1]) * p[2] + c[2]
+
+    def neighbor(self, rank: int, d: tuple[int, int, int]) -> int | None:
+        """The rank one step along direction ``d``.
+
+        Periodic topologies wrap; non-periodic topologies return
+        ``None`` when the step would leave the domain (boundary
+        conditions fill those ghost regions instead).
+        """
+        c = self.coords_of(rank)
+        target = (c[0] + d[0], c[1] + d[1], c[2] + d[2])
+        if not self.periodic:
+            if any(not 0 <= t < p for t, p in zip(target, self.dims)):
+                return None
+        return self.rank_of(target)
+
+    def neighbors(self, rank: int) -> dict[tuple[int, int, int], int | None]:
+        """All 26 neighbours of ``rank`` keyed by direction."""
+        return {d: self.neighbor(rank, d) for d in NEIGHBOR_DIRECTIONS}
+
+    def boundary_sides(self, rank: int) -> tuple[tuple[bool, bool], ...]:
+        """Per-axis (low, high) flags: does this rank touch the domain
+        boundary on that side?  All False for periodic topologies."""
+        if self.periodic:
+            return ((False, False),) * 3
+        c = self.coords_of(rank)
+        return tuple(
+            (c[d] == 0, c[d] == self.dims[d] - 1) for d in range(3)
+        )
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank`` (consecutive-rank placement)."""
+        return rank // self.ranks_per_node
+
+    def is_intra_node(self, a: int, b: int) -> bool:
+        """Whether ranks ``a`` and ``b`` share a node."""
+        return self.node_of(a) == self.node_of(b)
+
+    def remote_neighbor_fraction(self, rank: int) -> float:
+        """Fraction of this rank's 26 neighbour links that leave the node.
+
+        A link to a neighbour direction counts once even if periodic
+        wrap makes several directions resolve to the same rank — this
+        matches message counting, where one message is sent per
+        direction regardless.
+        """
+        remote = sum(
+            0 if nb is None or self.is_intra_node(rank, nb) else 1
+            for nb in self.neighbors(rank).values()
+        )
+        return remote / 26.0
+
+    def subdomain_origin(
+        self, rank: int, cells_per_rank: tuple[int, int, int]
+    ) -> tuple[int, int, int]:
+        """Global cell coordinates of this rank's subdomain corner."""
+        c = self.coords_of(rank)
+        return tuple(c[d] * cells_per_rank[d] for d in range(3))
+
+    @staticmethod
+    def direction_kind(d: tuple[int, int, int]) -> str:
+        """'face' / 'edge' / 'corner' classification of a direction."""
+        return direction_kind(d)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CartTopology(dims={self.dims}, ranks_per_node={self.ranks_per_node})"
+
+
+def factor_ranks(size: int) -> tuple[int, int, int]:
+    """A near-cubic 3-D factorisation of ``size`` (largest dims first).
+
+    Mirrors ``MPI_Dims_create``: repeatedly peel the smallest prime
+    factor onto the currently smallest dimension.
+    """
+    if size < 1:
+        raise ValueError(f"size must be positive: {size}")
+    dims = np.ones(3, dtype=np.int64)
+    remaining = size
+    f = 2
+    factors = []
+    while remaining > 1:
+        while remaining % f == 0:
+            factors.append(f)
+            remaining //= f
+        f += 1 if f == 2 else 2
+        if f * f > remaining and remaining > 1:
+            factors.append(remaining)
+            break
+    for p in sorted(factors, reverse=True):
+        dims[np.argmin(dims)] *= p
+    return tuple(int(d) for d in sorted(dims, reverse=True))

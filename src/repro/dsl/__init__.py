@@ -1,0 +1,86 @@
+"""Stencil DSL, analysis, and NumPy vector code generation.
+
+This package is the Python analogue of BrickLib's domain-specific
+stencil language and vector code generator (Fig. 1 of the paper).  A
+stencil is written against symbolic indices and grids::
+
+    i, j, k = indices()
+    x, Ax = Grid("x"), Grid("Ax")
+    alpha, beta = ConstRef("alpha"), ConstRef("beta")
+    calc = alpha * x(i, j, k) + beta * (
+        x(i + 1, j, k) + x(i - 1, j, k)
+        + x(i, j + 1, k) + x(i, j - 1, k)
+        + x(i, j, k + 1) + x(i, j, k - 1)
+    )
+    stencil = Stencil("applyOp", [Ax(i, j, k).assign(calc)])
+
+and compiled to a vectorised NumPy kernel that operates on bricked
+storage (:func:`repro.dsl.codegen.compile_stencil`).  The analysis
+module extracts offsets, radius, FLOP counts and compulsory memory
+traffic — the same quantities the paper's Table IV derives — and the
+code generator performs common-subexpression elimination over the
+expression DAG (the vector analogue of the *array common
+subexpression* reuse described in Section III).
+"""
+
+from repro.dsl.ast import (
+    Assignment,
+    BinOp,
+    Const,
+    ConstRef,
+    Expr,
+    Grid,
+    GridRef,
+    Index,
+    Stencil,
+    indices,
+)
+from repro.dsl.analysis import (
+    StencilAnalysis,
+    analyze,
+    arithmetic_intensity,
+    bytes_per_point,
+    flops_per_point,
+    offsets_by_grid,
+    stencil_radius,
+)
+from repro.dsl.codegen import CompiledKernel, compile_stencil, generate_source
+from repro.dsl.library import (
+    APPLY_OP,
+    OPERATOR_INFO,
+    RESIDUAL,
+    SMOOTH,
+    SMOOTH_RESIDUAL,
+    OperatorInfo,
+    theoretical_ai_table,
+)
+
+__all__ = [
+    "Index",
+    "indices",
+    "Grid",
+    "GridRef",
+    "Const",
+    "ConstRef",
+    "BinOp",
+    "Expr",
+    "Assignment",
+    "Stencil",
+    "analyze",
+    "StencilAnalysis",
+    "offsets_by_grid",
+    "stencil_radius",
+    "flops_per_point",
+    "bytes_per_point",
+    "arithmetic_intensity",
+    "generate_source",
+    "compile_stencil",
+    "CompiledKernel",
+    "APPLY_OP",
+    "SMOOTH",
+    "SMOOTH_RESIDUAL",
+    "RESIDUAL",
+    "OperatorInfo",
+    "OPERATOR_INFO",
+    "theoretical_ai_table",
+]

@@ -1,0 +1,162 @@
+"""Static analysis of DSL stencils.
+
+Extracts the quantities the code generator and the performance models
+need:
+
+* per-grid read offset sets and the overall stencil radius (drives the
+  halo gather width);
+* FLOPs per output point (every ``+ - * /`` on non-constant operands
+  counts as one flop — constant folding such as ``Const*Const`` is
+  excluded);
+* compulsory memory traffic per point: 8 bytes for each distinct grid
+  read plus 8 for each grid written, the same streaming/compulsory-miss
+  convention behind the paper's Table IV;
+* repeated subexpressions (the *array common subexpressions* the vector
+  code generator buffers instead of recomputing).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.dsl.ast import Assignment, BinOp, Const, ConstRef, Expr, GridRef, Stencil
+
+ITEMSIZE = 8  # double precision throughout, as in the paper
+
+
+def _walk(expr: Expr):
+    """Yield every node of an expression tree (pre-order)."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, BinOp):
+            stack.append(node.lhs)
+            stack.append(node.rhs)
+
+
+def offsets_by_grid(stencil: Stencil) -> dict[str, set[tuple[int, int, int]]]:
+    """Read offsets used per input grid, over all assignments."""
+    out: dict[str, set[tuple[int, int, int]]] = {}
+    for a in stencil.assignments:
+        for node in _walk(a.expr):
+            if isinstance(node, GridRef):
+                out.setdefault(node.grid, set()).add(node.offsets)
+    return out
+
+
+def stencil_radius(stencil: Stencil) -> int:
+    """Maximum absolute read offset over all grids and dimensions."""
+    radius = 0
+    for offsets in offsets_by_grid(stencil).values():
+        for o in offsets:
+            radius = max(radius, max(abs(c) for c in o))
+    return radius
+
+
+def _is_const(expr: Expr) -> bool:
+    return isinstance(expr, (Const, ConstRef))
+
+
+def flops_per_point(stencil: Stencil) -> int:
+    """Floating-point operations per output point.
+
+    Operations between two compile-time/runtime constants are folded
+    (not counted); everything else counts one flop per ``BinOp``.
+    """
+    flops = 0
+    for a in stencil.assignments:
+        for node in _walk(a.expr):
+            if isinstance(node, BinOp) and not (
+                _is_const(node.lhs) and _is_const(node.rhs)
+            ):
+                flops += 1
+    return flops
+
+
+def bytes_per_point(stencil: Stencil) -> int:
+    """Compulsory DRAM traffic per output point, in bytes.
+
+    Each distinct grid read streams in once (halo rereads amortise to
+    zero for large grids) and each grid written streams out once.  A
+    grid that is both read and written (e.g. ``x`` in ``smooth``)
+    contributes to both.  This is the infinite-cache bound the paper's
+    theoretical arithmetic intensities assume.
+    """
+    reads = set(offsets_by_grid(stencil))
+    writes = set(stencil.output_grids)
+    return ITEMSIZE * (len(reads) + len(writes))
+
+
+def arithmetic_intensity(stencil: Stencil) -> float:
+    """Theoretical FLOP:byte ratio (Table IV's quantity)."""
+    return flops_per_point(stencil) / bytes_per_point(stencil)
+
+
+def common_subexpressions(stencil: Stencil) -> list[tuple]:
+    """Structural keys of non-trivial subexpressions used more than once.
+
+    Grid references repeated across statements (``Ax`` and ``b`` in
+    ``smooth+residual``) and repeated compound terms are returned in
+    deterministic first-appearance order; the code generator hoists
+    each into a buffer, mirroring BrickLib's array-common-subexpression
+    reuse.
+    """
+    counts: Counter[tuple] = Counter()
+    order: dict[tuple, int] = {}
+    for a in stencil.assignments:
+        for node in _walk(a.expr):
+            if isinstance(node, (Const, ConstRef)):
+                continue  # scalars are free; no buffer needed
+            k = node.key()
+            counts[k] += 1
+            order.setdefault(k, len(order))
+    repeated = [k for k, c in counts.items() if c > 1]
+    repeated.sort(key=order.__getitem__)
+    return repeated
+
+
+@dataclass(frozen=True)
+class StencilAnalysis:
+    """All static properties of a stencil in one record."""
+
+    name: str
+    radius: int
+    flops_per_point: int
+    bytes_per_point: int
+    arithmetic_intensity: float
+    input_grids: tuple[str, ...]
+    output_grids: tuple[str, ...]
+    halo_grids: tuple[str, ...]
+    const_names: tuple[str, ...]
+    offsets: dict[str, frozenset[tuple[int, int, int]]] = field(repr=False)
+
+    @property
+    def points_per_flop_denominator(self) -> int:  # pragma: no cover - alias
+        return self.flops_per_point
+
+
+def analyze(stencil: Stencil) -> StencilAnalysis:
+    """Run all analyses over a stencil."""
+    offsets = offsets_by_grid(stencil)
+    halo = tuple(
+        sorted(g for g, offs in offsets.items() if any(o != (0, 0, 0) for o in offs))
+    )
+    const_names = []
+    for a in stencil.assignments:
+        for node in _walk(a.expr):
+            if isinstance(node, ConstRef) and node.name not in const_names:
+                const_names.append(node.name)
+    return StencilAnalysis(
+        name=stencil.name,
+        radius=stencil_radius(stencil),
+        flops_per_point=flops_per_point(stencil),
+        bytes_per_point=bytes_per_point(stencil),
+        arithmetic_intensity=arithmetic_intensity(stencil),
+        input_grids=tuple(sorted(offsets)),
+        output_grids=stencil.output_grids,
+        halo_grids=halo,
+        const_names=tuple(const_names),
+        offsets={g: frozenset(o) for g, o in offsets.items()},
+    )

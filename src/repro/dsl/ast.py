@@ -1,0 +1,236 @@
+"""Expression AST for the stencil DSL.
+
+The node types mirror the BrickLib DSL of the paper's Figure 1:
+:class:`Index` (symbolic loop indices ``i, j, k``), :class:`Grid`
+(named fields, referenced at shifted indices), :class:`ConstRef`
+(runtime scalar parameters such as ``alpha``/``beta``/``gamma``) and
+arithmetic combinations of these.  Every node exposes a structural
+``key()`` used for common-subexpression detection and compile caching.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+Number = Union[int, float]
+
+
+class Expr:
+    """Base class for DSL expressions; provides operator overloading."""
+
+    def key(self) -> tuple:
+        """Structural identity used for CSE and compile caching."""
+        raise NotImplementedError
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: "Expr | Number") -> "BinOp":
+        return BinOp("+", self, _wrap(other))
+
+    def __radd__(self, other: Number) -> "BinOp":
+        return BinOp("+", _wrap(other), self)
+
+    def __sub__(self, other: "Expr | Number") -> "BinOp":
+        return BinOp("-", self, _wrap(other))
+
+    def __rsub__(self, other: Number) -> "BinOp":
+        return BinOp("-", _wrap(other), self)
+
+    def __mul__(self, other: "Expr | Number") -> "BinOp":
+        return BinOp("*", self, _wrap(other))
+
+    def __rmul__(self, other: Number) -> "BinOp":
+        return BinOp("*", _wrap(other), self)
+
+    def __truediv__(self, other: "Expr | Number") -> "BinOp":
+        return BinOp("/", self, _wrap(other))
+
+    def __rtruediv__(self, other: Number) -> "BinOp":
+        return BinOp("/", _wrap(other), self)
+
+    def __neg__(self) -> "BinOp":
+        return BinOp("*", Const(-1.0), self)
+
+
+def _wrap(value: "Expr | Number") -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(float(value))
+    raise TypeError(f"cannot use {type(value).__name__} in a stencil expression")
+
+
+class Const(Expr):
+    """A literal numeric constant baked into the generated kernel."""
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def key(self) -> tuple:
+        return ("const", self.value)
+
+    def __repr__(self) -> str:
+        return f"Const({self.value})"
+
+
+class ConstRef(Expr):
+    """A named runtime scalar parameter (e.g. ``alpha = -6/h**2``).
+
+    The value is supplied when the compiled kernel is invoked, so one
+    compiled kernel serves every multigrid level.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name.isidentifier():
+            raise ValueError(f"ConstRef name must be an identifier: {name!r}")
+        self.name = name
+
+    def key(self) -> tuple:
+        return ("constref", self.name)
+
+    def __repr__(self) -> str:
+        return f"ConstRef({self.name!r})"
+
+
+class BinOp(Expr):
+    """A binary arithmetic operation."""
+
+    OPS = ("+", "-", "*", "/")
+
+    def __init__(self, op: str, lhs: Expr, rhs: Expr) -> None:
+        if op not in self.OPS:
+            raise ValueError(f"unsupported operator {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def key(self) -> tuple:
+        return ("binop", self.op, self.lhs.key(), self.rhs.key())
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+class Index:
+    """A symbolic loop index over one grid dimension (0, 1 or 2)."""
+
+    def __init__(self, dim: int) -> None:
+        if dim not in (0, 1, 2):
+            raise ValueError(f"Index dimension must be 0, 1 or 2: {dim}")
+        self.dim = dim
+        self.offset = 0
+
+    def shifted(self, delta: int) -> "Index":
+        out = Index(self.dim)
+        out.offset = self.offset + int(delta)
+        return out
+
+    def __add__(self, delta: int) -> "Index":
+        return self.shifted(delta)
+
+    def __sub__(self, delta: int) -> "Index":
+        return self.shifted(-delta)
+
+    def __repr__(self) -> str:
+        base = "ijk"[self.dim]
+        return base if self.offset == 0 else f"{base}{self.offset:+d}"
+
+
+def indices() -> tuple[Index, Index, Index]:
+    """Convenience: the three canonical indices ``i, j, k``."""
+    return Index(0), Index(1), Index(2)
+
+
+class Grid:
+    """A named field; calling it at (shifted) indices yields a reference.
+
+    ``rank`` is the number of dimensions (always 3 here, matching the
+    paper's ``Grid("x", 3)`` declarations).
+    """
+
+    def __init__(self, name: str, rank: int = 3) -> None:
+        if not name.isidentifier():
+            raise ValueError(f"Grid name must be an identifier: {name!r}")
+        if rank != 3:
+            raise ValueError("only 3-D grids are supported")
+        self.name = name
+        self.rank = rank
+
+    def __call__(self, i: Index, j: Index, k: Index) -> "GridRef":
+        for want, got in zip((0, 1, 2), (i, j, k)):
+            if not isinstance(got, Index) or got.dim != want:
+                raise ValueError(
+                    f"grid {self.name!r} must be indexed as (i, j, k) with "
+                    "optional integer shifts"
+                )
+        return GridRef(self.name, (i.offset, j.offset, k.offset))
+
+    def __repr__(self) -> str:
+        return f"Grid({self.name!r})"
+
+
+class GridRef(Expr):
+    """A read of ``grid`` at a constant offset from the output point."""
+
+    def __init__(self, grid: str, offsets: tuple[int, int, int]) -> None:
+        self.grid = grid
+        self.offsets = tuple(int(o) for o in offsets)
+
+    def key(self) -> tuple:
+        return ("grid", self.grid, self.offsets)
+
+    def assign(self, expr: "Expr | Number") -> "Assignment":
+        """Create an assignment statement targeting this reference.
+
+        Only unshifted targets are supported, as in the paper's DSL
+        (``output(i, j, k).assign(calc)``).
+        """
+        if self.offsets != (0, 0, 0):
+            raise ValueError("assignment targets must be unshifted (i, j, k)")
+        return Assignment(self, _wrap(expr))
+
+    def __repr__(self) -> str:
+        return f"{self.grid}{list(self.offsets)}"
+
+
+class Assignment:
+    """One statement: ``target(i, j, k) = expr``."""
+
+    def __init__(self, target: GridRef, expr: Expr) -> None:
+        self.target = target
+        self.expr = expr
+
+    def key(self) -> tuple:
+        return ("assign", self.target.key(), self.expr.key())
+
+    def __repr__(self) -> str:
+        return f"{self.target!r} <- {self.expr!r}"
+
+
+class Stencil:
+    """A named group of assignments executed as one fused kernel.
+
+    Multiple assignments model fused operations such as the V-cycle's
+    ``smooth+residual``, which updates the solution and produces the
+    residual in one pass.  Statement semantics are *simultaneous*: all
+    right-hand sides are evaluated against pre-statement values before
+    any target is written (the generated code enforces this).
+    """
+
+    def __init__(self, name: str, assignments: Iterable[Assignment]) -> None:
+        self.name = name
+        self.assignments = tuple(assignments)
+        if not self.assignments:
+            raise ValueError("a stencil needs at least one assignment")
+        targets = [a.target.grid for a in self.assignments]
+        if len(set(targets)) != len(targets):
+            raise ValueError("each output grid may be assigned only once")
+
+    def key(self) -> tuple:
+        return ("stencil", tuple(a.key() for a in self.assignments))
+
+    @property
+    def output_grids(self) -> tuple[str, ...]:
+        return tuple(a.target.grid for a in self.assignments)
+
+    def __repr__(self) -> str:
+        return f"Stencil({self.name!r}, {len(self.assignments)} stmts)"

@@ -1,0 +1,230 @@
+"""NumPy vector code generation for DSL stencils.
+
+``generate_source`` turns a :class:`~repro.dsl.ast.Stencil` into the
+source of a Python function that evaluates the stencil over *all*
+bricks of a field in one batch of vectorised NumPy operations.  This
+mirrors BrickLib's vector code generator:
+
+* the brick dimensions are collapsed into NumPy's contiguous inner axes
+  (the *vector folding* of Yount [31] — one logical vector spans the
+  whole brick);
+* repeated subexpressions are hoisted into buffers once and reused
+  (*array common subexpression* elimination, Deitz et al. [33]);
+* halo reads go through the extended per-brick blocks produced by
+  :func:`repro.bricks.halo.gather_extended`, i.e. through the brick
+  adjacency indirection rather than a padded array.
+
+Statements are compute-then-store: every right-hand side is fully
+evaluated before any output grid is written, so fused kernels such as
+``smooth+residual`` see consistent pre-update values.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro.bricks.bricked_array import BrickedArray
+from repro.bricks.halo import gather_extended
+from repro.dsl.analysis import StencilAnalysis, analyze, common_subexpressions
+from repro.dsl.ast import BinOp, Const, ConstRef, Expr, GridRef, Stencil
+
+_KERNEL_CACHE: dict[tuple, "CompiledKernel"] = {}
+
+
+class _Emitter:
+    """Expression-tree to NumPy-source translator with CSE hoisting."""
+
+    def __init__(
+        self,
+        halo_grids: frozenset[str],
+        radius: int,
+        brick_dim: int,
+        hoisted: set[tuple],
+        lines: list[str],
+    ) -> None:
+        self.halo_grids = halo_grids
+        self.radius = radius
+        self.brick_dim = brick_dim
+        self.hoisted = hoisted
+        self.lines = lines
+        self.defined: dict[tuple, str] = {}
+        self._counter = 0
+
+    def _temp(self) -> str:
+        name = f"_t{self._counter}"
+        self._counter += 1
+        return name
+
+    def _grid_slice(self, ref: GridRef) -> str:
+        if ref.grid in self.halo_grids:
+            r, B = self.radius, self.brick_dim
+            parts = ", ".join(
+                f"{r + o}:{r + o + B}" for o in ref.offsets
+            )
+            return f"bufs[{ref.grid!r}][:, {parts}]"
+        if ref.offsets != (0, 0, 0):
+            raise AssertionError(
+                f"grid {ref.grid} read at {ref.offsets} but not marked as a halo grid"
+            )
+        return f"bufs[{ref.grid!r}]"
+
+    def emit(self, node: Expr) -> str:
+        """Return a source fragment for ``node``, hoisting CSE temps."""
+        key = node.key()
+        if key in self.defined:
+            return self.defined[key]
+        text = self._render(node)
+        if key in self.hoisted:
+            name = self._temp()
+            self.lines.append(f"    {name} = {text}")
+            self.defined[key] = name
+            return name
+        return text
+
+    def _render(self, node: Expr) -> str:
+        if isinstance(node, Const):
+            return repr(node.value)
+        if isinstance(node, ConstRef):
+            return f"_c_{node.name}"
+        if isinstance(node, GridRef):
+            return self._grid_slice(node)
+        if isinstance(node, BinOp):
+            lhs = self.emit(node.lhs)
+            rhs = self.emit(node.rhs)
+            return f"({lhs} {node.op} {rhs})"
+        raise TypeError(f"cannot generate code for {type(node).__name__}")
+
+
+def generate_source(stencil: Stencil, brick_dim: int) -> str:
+    """Generate the kernel source for ``stencil`` on ``brick_dim`` bricks.
+
+    The generated function has signature ``kernel(bufs, consts, outs)``
+    where ``bufs`` maps each input grid to its extended array (halo
+    grids) or raw brick storage (pointwise grids), ``consts`` maps
+    ``ConstRef`` names to scalars, and ``outs`` maps output grid names
+    to raw brick storage written in place.
+    """
+    an = analyze(stencil)
+    hoisted = set(common_subexpressions(stencil))
+    lines: list[str] = []
+    buf = io.StringIO()
+    buf.write(f"def kernel(bufs, consts, outs):\n")
+    buf.write(f'    """Generated from stencil {stencil.name!r}; do not edit."""\n')
+    for cname in an.const_names:
+        buf.write(f"    _c_{cname} = consts[{cname!r}]\n")
+
+    emitter = _Emitter(
+        halo_grids=frozenset(an.halo_grids),
+        radius=an.radius,
+        brick_dim=brick_dim,
+        hoisted=hoisted,
+        lines=lines,
+    )
+    rhs_fragments = []
+    for idx, a in enumerate(stencil.assignments):
+        frag = emitter.emit(a.expr)
+        name = f"_rhs{idx}"
+        lines.append(f"    {name} = {frag}")
+        rhs_fragments.append(name)
+    for line in lines:
+        buf.write(line + "\n")
+    for idx, a in enumerate(stencil.assignments):
+        buf.write(f"    outs[{a.target.grid!r}][...] = _rhs{idx}\n")
+    return buf.getvalue()
+
+
+class CompiledKernel:
+    """A DSL stencil compiled to a vectorised NumPy kernel.
+
+    Instances carry the generated source (``.source``), the static
+    analysis (``.analysis``), and an :meth:`apply` method that
+    orchestrates the halo gather and runs the kernel over all bricks of
+    the supplied fields.
+    """
+
+    def __init__(self, stencil: Stencil, brick_dim: int) -> None:
+        self.stencil = stencil
+        self.brick_dim = int(brick_dim)
+        self.analysis: StencilAnalysis = analyze(stencil)
+        if self.analysis.radius > brick_dim:
+            raise ValueError(
+                f"stencil radius {self.analysis.radius} exceeds brick "
+                f"dimension {brick_dim}"
+            )
+        self.source = generate_source(stencil, brick_dim)
+        namespace: dict = {"np": np}
+        exec(compile(self.source, f"<stencil:{stencil.name}>", "exec"), namespace)
+        self._fn = namespace["kernel"]
+
+    def apply(
+        self,
+        fields: dict[str, BrickedArray],
+        consts: dict[str, float] | None = None,
+        workspace: dict | None = None,
+    ) -> None:
+        """Evaluate the stencil over every brick (interior and ghost).
+
+        Parameters
+        ----------
+        fields:
+            Maps every input and output grid name to its field.  All
+            fields must share a grid with the kernel's brick dimension.
+        consts:
+            Values for the stencil's ``ConstRef`` parameters.
+        workspace:
+            Optional dict (owned by the caller) reused across calls to
+            avoid reallocating extended halo buffers.
+        """
+        consts = consts or {}
+        missing = [c for c in self.analysis.const_names if c not in consts]
+        if missing:
+            raise KeyError(f"missing constants for {self.stencil.name}: {missing}")
+        needed = set(self.analysis.input_grids) | set(self.analysis.output_grids)
+        absent = sorted(needed - set(fields))
+        if absent:
+            raise KeyError(f"missing fields for {self.stencil.name}: {absent}")
+
+        grids = {f.grid for f in fields.values()}
+        if len(grids) != 1:
+            raise ValueError("all fields must share one BrickGrid")
+        (grid,) = grids
+        if grid.brick_dim != self.brick_dim:
+            raise ValueError(
+                f"kernel compiled for brick_dim={self.brick_dim}, fields have "
+                f"{grid.brick_dim}"
+            )
+
+        r = self.analysis.radius
+        bufs: dict[str, np.ndarray] = {}
+        for g in self.analysis.input_grids:
+            if g in self.analysis.halo_grids:
+                ext = grid.brick_dim + 2 * r
+                shape = (grid.num_slots, ext, ext, ext)
+                dtype = fields[g].data.dtype
+                buf = None
+                if workspace is not None:
+                    key = (g, shape, dtype)
+                    buf = workspace.get(key)
+                    if buf is None:
+                        buf = np.empty(shape, dtype=dtype)
+                        workspace[key] = buf
+                bufs[g] = gather_extended(fields[g], r, out=buf)
+            else:
+                bufs[g] = fields[g].data
+        outs = {g: fields[g].data for g in self.analysis.output_grids}
+        self._fn(bufs, consts, outs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CompiledKernel({self.stencil.name!r}, brick_dim={self.brick_dim})"
+
+
+def compile_stencil(stencil: Stencil, brick_dim: int) -> CompiledKernel:
+    """Compile (with caching) a stencil for a given brick dimension."""
+    key = (stencil.key(), int(brick_dim))
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is None:
+        kernel = CompiledKernel(stencil, brick_dim)
+        _KERNEL_CACHE[key] = kernel
+    return kernel

@@ -1,0 +1,184 @@
+"""Parse the paper's textual DSL format (Figure 1) into a Stencil.
+
+The paper specifies stencils in a Python-syntax DSL::
+
+    # Declare indices
+    i = Index(0)
+    j = Index(1)
+    k = Index(2)
+    # Declare grid
+    input = Grid("x", 3)
+    output = Grid("Ax", 3)
+    alpha = ConstRef("MPI_ALPHA")
+    beta = ConstRef("MPI_BETA")
+
+    # Express computation
+    calc = alpha * input(i, j, k) + \\
+        beta * input(i + 1, j, k) + \\
+        beta * input(i - 1, j, k) + \\
+        beta * input(i, j + 1, k) + \\
+        beta * input(i, j - 1, k) + \\
+        beta * input(i, j, k + 1) + \\
+        beta * input(i, j, k - 1)
+    output(i, j, k).assign(calc)
+
+``parse_dsl`` executes such a program in a *sandboxed* namespace
+containing only the DSL vocabulary (``Index``, ``Grid``, ``ConstRef``
+and arithmetic) and collects every ``assign`` into a
+:class:`~repro.dsl.ast.Stencil`.  Python's own parser does the syntax
+work; a whitelist walk over the syntax tree rejects anything outside
+the DSL subset (imports, calls to unknown names, attribute access other
+than ``.assign``, statements with side effects), so pasting the paper's
+figure verbatim works and nothing else does.
+"""
+
+from __future__ import annotations
+
+import ast as python_ast
+
+from repro.dsl.ast import Assignment, ConstRef, Grid, GridRef, Index, Stencil
+
+_ALLOWED_CALLS = {"Index", "Grid", "ConstRef"}
+_ALLOWED_BINOPS = (
+    python_ast.Add,
+    python_ast.Sub,
+    python_ast.Mult,
+    python_ast.Div,
+)
+
+
+class DslSyntaxError(ValueError):
+    """The source uses constructs outside the Figure 1 DSL subset."""
+
+
+def _check_node(node: python_ast.AST) -> None:
+    """Whitelist validation of one statement's syntax tree."""
+    for sub in python_ast.walk(node):
+        if isinstance(
+            sub,
+            (
+                python_ast.Import,
+                python_ast.ImportFrom,
+                python_ast.FunctionDef,
+                python_ast.AsyncFunctionDef,
+                python_ast.ClassDef,
+                python_ast.While,
+                python_ast.For,
+                python_ast.If,
+                python_ast.With,
+                python_ast.Lambda,
+                python_ast.Starred,
+                python_ast.Subscript,
+                python_ast.Dict,
+                python_ast.ListComp,
+                python_ast.GeneratorExp,
+            ),
+        ):
+            raise DslSyntaxError(
+                f"construct not allowed in the stencil DSL: "
+                f"{type(sub).__name__}"
+            )
+        if isinstance(sub, python_ast.Attribute) and sub.attr != "assign":
+            raise DslSyntaxError(
+                f"only the .assign(...) method exists in the DSL, "
+                f"not .{sub.attr}"
+            )
+        if isinstance(sub, python_ast.BinOp) and not isinstance(
+            sub.op, _ALLOWED_BINOPS
+        ):
+            raise DslSyntaxError(
+                f"operator not allowed: {type(sub.op).__name__}"
+            )
+        if isinstance(sub, python_ast.Call):
+            fn = sub.func
+            # calls are either declarations/grid reads by plain name
+            # (Index/Grid/ConstRef/<grid>) or the .assign method; the
+            # sandboxed namespace rejects unknown names at evaluation
+            ok = isinstance(fn, python_ast.Name) or (
+                isinstance(fn, python_ast.Attribute) and fn.attr == "assign"
+            )
+            if not ok:
+                raise DslSyntaxError(
+                    "only DSL declarations and grid reads may be called"
+                )
+
+
+class _Collector:
+    """Captures the ``assign`` calls a DSL program makes."""
+
+    def __init__(self) -> None:
+        self.assignments: list[Assignment] = []
+
+
+def parse_dsl(source: str, name: str = "stencil") -> Stencil:
+    """Parse Figure 1-style DSL source into a :class:`Stencil`.
+
+    Every top-level ``<grid>(i, j, k).assign(expr)`` expression becomes
+    one statement of the stencil, in program order.
+    """
+    try:
+        tree = python_ast.parse(source)
+    except SyntaxError as exc:
+        raise DslSyntaxError(f"not valid DSL syntax: {exc}") from exc
+
+    for node in tree.body:
+        if not isinstance(node, (python_ast.Assign, python_ast.Expr)):
+            raise DslSyntaxError(
+                f"only assignments and expressions are allowed at the top "
+                f"level, got {type(node).__name__}"
+            )
+        _check_node(node)
+
+    collector = _Collector()
+    original_assign = GridRef.assign
+
+    def capturing_assign(self: GridRef, expr) -> Assignment:
+        assignment = original_assign(self, expr)
+        collector.assignments.append(assignment)
+        return assignment
+
+    namespace = {
+        "__builtins__": {},
+        "Index": Index,
+        "Grid": Grid,
+        "ConstRef": ConstRef,
+    }
+    GridRef.assign = capturing_assign  # type: ignore[method-assign]
+    try:
+        exec(compile(tree, "<dsl>", "exec"), namespace)
+    except DslSyntaxError:
+        raise
+    except Exception as exc:
+        raise DslSyntaxError(f"DSL program failed to evaluate: {exc}") from exc
+    finally:
+        GridRef.assign = original_assign  # type: ignore[method-assign]
+
+    if not collector.assignments:
+        raise DslSyntaxError("the DSL program never called .assign(...)")
+    return Stencil(name, collector.assignments)
+
+
+#: The paper's Figure 1 program, verbatim modulo the ``MPI_`` constant
+#: prefixes (kept as plain names here).
+PAPER_FIGURE_1 = """\
+# Declare indices
+i = Index(0)
+j = Index(1)
+k = Index(2)
+# Declare grid
+input = Grid("x", 3)
+output = Grid("Ax", 3)
+alpha = ConstRef("alpha")
+beta = ConstRef("beta")
+
+# Express computation
+# output[i, j, k] is assumed
+calc = alpha * input(i, j, k) + \\
+    beta * input(i + 1, j, k) + \\
+    beta * input(i - 1, j, k) + \\
+    beta * input(i, j + 1, k) + \\
+    beta * input(i, j - 1, k) + \\
+    beta * input(i, j, k + 1) + \\
+    beta * input(i, j, k - 1)
+output(i, j, k).assign(calc)
+"""

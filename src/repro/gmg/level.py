@@ -1,0 +1,89 @@
+"""One multigrid level of one rank: brick grid + the four fields.
+
+Each level holds the solution ``x``, right-hand side ``b``, operator
+application ``Ax`` and residual ``r`` as bricked fields sharing one
+:class:`~repro.bricks.brick_grid.BrickGrid`, plus the level's stencil
+constants.  The brick dimension shrinks with the level when a level's
+subdomain becomes smaller than the configured brick (the paper never
+descends that far — its coarsest 16^3 level still fits 8^3 bricks —
+but small test problems do).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bricks.brick_grid import BrickGrid
+from repro.bricks.bricked_array import BrickedArray
+from repro.gmg.problem import LevelConstants
+
+
+def level_brick_dim(cells_per_dim: int, requested: int) -> int:
+    """Brick dimension actually used for a level.
+
+    Uses the requested brick size when it divides the level's cells,
+    otherwise the largest divisor of ``cells_per_dim`` not exceeding
+    the request (power-of-two sizes always divide cleanly).
+    """
+    if cells_per_dim < 1 or requested < 1:
+        raise ValueError("cells_per_dim and requested must be positive")
+    b = min(requested, cells_per_dim)
+    while cells_per_dim % b != 0:
+        b -= 1
+    return b
+
+
+class Level:
+    """State of one multigrid level on one rank."""
+
+    def __init__(
+        self,
+        index: int,
+        shape_cells: tuple[int, int, int],
+        brick_dim: int,
+        h: float,
+        ordering: str = "surface-major",
+        dtype: np.dtype | type = np.float64,
+    ) -> None:
+        shape_cells = tuple(int(c) for c in shape_cells)
+        if any(c % brick_dim for c in shape_cells):
+            raise ValueError(
+                f"level {index}: cells {shape_cells} not divisible by "
+                f"brick_dim {brick_dim}"
+            )
+        self.index = int(index)
+        self.shape_cells = shape_cells
+        self.constants = LevelConstants.for_spacing(h)
+        self.dtype = np.dtype(dtype)
+        shape_bricks = tuple(c // brick_dim for c in shape_cells)
+        self.grid = BrickGrid(shape_bricks, brick_dim, ghost_bricks=1, ordering=ordering)
+        self.x = BrickedArray.zeros(self.grid, dtype=self.dtype)
+        self.b = BrickedArray.zeros(self.grid, dtype=self.dtype)
+        self.Ax = BrickedArray.zeros(self.grid, dtype=self.dtype)
+        self.r = BrickedArray.zeros(self.grid, dtype=self.dtype)
+        #: reusable halo buffers, keyed by (grid name, shape)
+        self.workspace: dict = {}
+
+    @property
+    def num_points(self) -> int:
+        """Interior cells on this rank at this level."""
+        return int(np.prod(self.shape_cells))
+
+    @property
+    def ghost_depth_cells(self) -> int:
+        """Halo validity (cells) granted by one exchange."""
+        return self.grid.ghost_cells
+
+    def fields(self) -> dict[str, BrickedArray]:
+        """All fields keyed by their DSL grid names."""
+        return {"x": self.x, "b": self.b, "Ax": self.Ax, "r": self.r}
+
+    def init_zero(self) -> None:
+        """The V-cycle's ``initZero``: reset the level's correction."""
+        self.x.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Level(index={self.index}, cells={self.shape_cells}, "
+            f"brick_dim={self.grid.brick_dim}, h={self.constants.h:g})"
+        )

@@ -1,0 +1,128 @@
+"""Local Fourier (mode) analysis of the smoother and the V-cycle.
+
+The paper picks 12 damped-Jacobi smooths per level and observes
+convergence in 12 V-cycles; this module supplies the classical theory
+that explains those numbers and lets tests validate the solver against
+predictions rather than just against itself.
+
+For the 7-point operator on a periodic grid, the Fourier modes
+``exp(i (theta_x x + theta_y y + theta_z z))`` are eigenvectors of
+everything in sight.  Damped Jacobi with weight ``omega`` has the
+amplification factor::
+
+    S(theta) = 1 - omega * (1 - (cos tx + cos ty + cos tz) / 3)
+
+(the paper's ``gamma = h^2/12`` is ``omega = 1/2``).  The *smoothing
+factor* ``mu`` is ``max |S|`` over the high-frequency harmonics (those
+with some ``|theta| >= pi/2``) — the modes coarse grids cannot
+represent — and ``mu**nu`` bounds the two-grid convergence per ``nu``
+smooths up to inter-grid transfer effects.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+
+def jacobi_symbol(
+    theta: tuple[float, float, float], omega: float = 0.5
+) -> float:
+    """Amplification factor of damped Jacobi on mode ``theta``."""
+    c = (np.cos(theta[0]) + np.cos(theta[1]) + np.cos(theta[2])) / 3.0
+    return 1.0 - omega * (1.0 - c)
+
+
+def operator_symbol(theta: tuple[float, float, float], h: float) -> float:
+    """Fourier symbol of the 7-point operator at spacing ``h``."""
+    return (
+        2.0 * (np.cos(theta[0]) + np.cos(theta[1]) + np.cos(theta[2])) - 6.0
+    ) / h**2
+
+
+def _theta_grid(samples: int) -> np.ndarray:
+    """Sample points of (-pi, pi]^3, excluding the zero mode."""
+    one = np.linspace(-np.pi, np.pi, samples, endpoint=False)
+    pts = np.array(list(itertools.product(one, one, one)))
+    keep = np.abs(pts).max(axis=1) > 1e-12
+    return pts[keep]
+
+
+def is_high_frequency(theta: np.ndarray) -> np.ndarray:
+    """High-frequency harmonics: invisible on the 2h grid."""
+    return np.abs(theta).max(axis=1) >= np.pi / 2.0
+
+
+def smoothing_factor(omega: float = 0.5, samples: int = 32) -> float:
+    """``mu = max |S(theta)|`` over high-frequency modes.
+
+    For omega = 1/2 on the 3-D 7-point operator the supremum is
+    attained at ``theta = (pi/2, 0, 0)``-type corners and equals
+    ``1 - omega * (1 - 1/3) * ...``; sampling converges to it quickly.
+    """
+    thetas = _theta_grid(samples)
+    hf = thetas[is_high_frequency(thetas)]
+    c = np.cos(hf).sum(axis=1) / 3.0
+    return float(np.abs(1.0 - omega * (1.0 - c)).max())
+
+
+def optimal_jacobi_weight() -> float:
+    """The omega minimising the 3-D smoothing factor.
+
+    Classical result: equalise ``|S|`` at the extremes of the
+    high-frequency range of ``c = (sum cos)/3`` — here ``c`` spans
+    ``[-1, 2/3]`` over HF modes, giving ``omega* = 2 / (2 - (-1 + 2/3))
+    = 6/7``.
+    """
+    c_min, c_max = -1.0, 2.0 / 3.0
+    return 2.0 / ((1.0 - c_min) + (1.0 - c_max))
+
+
+def predicted_residual_reduction(nu_total: int, omega: float = 0.5) -> float:
+    """Idealised per-cycle reduction from smoothing alone: ``mu**nu``.
+
+    ``nu_total`` is the number of smooths a mode experiences per cycle
+    at its finest representation (down + up visits).  Real cycles also
+    gain/lose from inter-grid transfers, so this is a guide, not a
+    bound; tests check the measured convergence factor lands within a
+    reasonable band of it.
+    """
+    if nu_total < 1:
+        raise ValueError(f"nu_total must be positive: {nu_total}")
+    return smoothing_factor(omega) ** nu_total
+
+
+def two_grid_symbols(omega: float, nu: int, samples: int = 16) -> np.ndarray:
+    """|two-grid error-propagation symbol| per sampled low mode.
+
+    Simplified scalar LFA: for each low-frequency mode, smoothing
+    ``nu`` times then removing the coarse-representable error entirely
+    (ideal coarse-grid correction) leaves the high-frequency harmonics'
+    smoothed amplitudes; the returned values are upper envelopes
+    ``max_harmonic |S|^nu`` per low mode.
+    """
+    base = np.linspace(-np.pi / 2, np.pi / 2, samples, endpoint=False)
+    out = []
+    for tx, ty, tz in itertools.product(base, base, base):
+        if max(abs(tx), abs(ty), abs(tz)) < 1e-12:
+            continue
+        worst = 0.0
+        for sx, sy, sz in itertools.product((0, 1), repeat=3):
+            if (sx, sy, sz) == (0, 0, 0):
+                continue  # the low harmonic is corrected exactly
+            harm = (
+                tx + sx * np.pi * np.sign(tx or 1),
+                ty + sy * np.pi * np.sign(ty or 1),
+                tz + sz * np.pi * np.sign(tz or 1),
+            )
+            worst = max(worst, abs(jacobi_symbol(harm, omega)) ** nu)
+        out.append(worst)
+    return np.asarray(out)
+
+
+def predicted_vcycle_factor(
+    nu_total: int, omega: float = 0.5, samples: int = 16
+) -> float:
+    """Idealised V-cycle convergence factor: worst two-grid envelope."""
+    return float(two_grid_symbols(omega, nu_total, samples).max())

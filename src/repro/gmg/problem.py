@@ -1,0 +1,151 @@
+"""The paper's model problem (Section IV-C).
+
+3-D constant-coefficient Poisson on the unit cube with periodic
+boundary conditions, discretised with the standard 7-point stencil:
+
+* right-hand side ``b = sin(2 pi x) sin(2 pi y) sin(2 pi z)`` sampled at
+  cell centres;
+* operator coefficients ``alpha = -6/h**2`` (centre) and
+  ``beta = 1/h**2`` (neighbours), with ``h`` the level's grid spacing;
+* point-Jacobi smoother ``x := x + gamma (A x - b)`` with
+  ``gamma = h**2/12`` (damped Jacobi, omega = 1/2);
+* convergence when the max-norm residual drops below ``1e-10``.
+
+Because the operator is a pure second difference and the right-hand
+side is an eigenfunction of it, the *discrete* solution is known in
+closed form, which the tests exploit: ``A`` acts on the product of
+sines as multiplication by ``3 (2 cos(2 pi h) - 2)/h**2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Convergence threshold on the max-norm residual (Algorithm 1).
+CONVERGENCE_TOL = 1e-10
+
+
+@dataclass(frozen=True)
+class LevelConstants:
+    """Stencil constants for one multigrid level."""
+
+    h: float
+    alpha: float
+    beta: float
+    gamma: float
+
+    @classmethod
+    def for_spacing(cls, h: float) -> "LevelConstants":
+        if h <= 0:
+            raise ValueError(f"grid spacing must be positive: {h}")
+        return cls(h=h, alpha=-6.0 / h**2, beta=1.0 / h**2, gamma=h**2 / 12.0)
+
+    def as_dict(self) -> dict[str, float]:
+        return {"alpha": self.alpha, "beta": self.beta, "gamma": self.gamma}
+
+
+def rhs_field(
+    shape: tuple[int, int, int],
+    h: float,
+    origin: tuple[int, int, int] = (0, 0, 0),
+) -> np.ndarray:
+    """Sample the right-hand side over a subdomain.
+
+    ``shape`` is the subdomain's cells per dimension, ``origin`` its
+    global cell offset (for distributed runs), ``h`` the finest-level
+    spacing.  Cell centres sit at ``(index + 0.5) * h``.
+    """
+    coords = [
+        (np.arange(origin[d], origin[d] + shape[d], dtype=np.float64) + 0.5) * h
+        for d in range(3)
+    ]
+    sx = np.sin(2.0 * np.pi * coords[0])[:, None, None]
+    sy = np.sin(2.0 * np.pi * coords[1])[None, :, None]
+    sz = np.sin(2.0 * np.pi * coords[2])[None, None, :]
+    return np.ascontiguousarray(sx * sy * sz)
+
+
+def discrete_operator_eigenvalue(h: float) -> float:
+    """Eigenvalue of the 7-point operator on the product-of-sines mode.
+
+    Applying the discrete operator ``A`` (with the constants above) to
+    ``sin(2 pi x) sin(2 pi y) sin(2 pi z)`` multiplies it by
+    ``3 (2 cos(2 pi h) - 2) / h**2``.
+    """
+    return 3.0 * (2.0 * np.cos(2.0 * np.pi * h) - 2.0) / h**2
+
+
+def discrete_solution(
+    shape: tuple[int, int, int],
+    h: float,
+    origin: tuple[int, int, int] = (0, 0, 0),
+) -> np.ndarray:
+    """The exact solution of the *discrete* system ``A x = b``.
+
+    Unique up to an additive constant (periodic operator nullspace);
+    this returns the zero-mean representative, which Jacobi-based
+    multigrid converges to from a zero initial guess because both the
+    right-hand side and every update have zero mean.
+    """
+    lam = discrete_operator_eigenvalue(h)
+    return rhs_field(shape, h, origin) / lam
+
+
+def rhs_field_dirichlet(
+    shape: tuple[int, int, int],
+    h: float,
+    origin: tuple[int, int, int] = (0, 0, 0),
+) -> np.ndarray:
+    """Right-hand side for the homogeneous-Dirichlet variant.
+
+    ``b = sin(pi x) sin(pi y) sin(pi z)`` vanishes on the boundary and
+    is a discrete eigenfunction of the 7-point operator under the
+    cell-centred mirror condition (ghost = -interior), so the Dirichlet
+    solve has the same closed-form verification as the periodic one.
+    """
+    coords = [
+        (np.arange(origin[d], origin[d] + shape[d], dtype=np.float64) + 0.5) * h
+        for d in range(3)
+    ]
+    sx = np.sin(np.pi * coords[0])[:, None, None]
+    sy = np.sin(np.pi * coords[1])[None, :, None]
+    sz = np.sin(np.pi * coords[2])[None, None, :]
+    return np.ascontiguousarray(sx * sy * sz)
+
+
+def dirichlet_operator_eigenvalue(h: float) -> float:
+    """Eigenvalue of the Dirichlet operator on the product-of-sines mode.
+
+    The mode ``sin(pi x_d)`` satisfies the antisymmetric mirror ghost
+    condition exactly, so the operator acts on the product as
+    multiplication by ``3 (2 cos(pi h) - 2) / h**2``.
+    """
+    return 3.0 * (2.0 * np.cos(np.pi * h) - 2.0) / h**2
+
+
+def discrete_solution_dirichlet(
+    shape: tuple[int, int, int],
+    h: float,
+    origin: tuple[int, int, int] = (0, 0, 0),
+) -> np.ndarray:
+    """Closed-form discrete solution of the Dirichlet model problem.
+
+    Unlike the periodic operator, the Dirichlet operator is
+    non-singular, so this solution is unique (no zero-mean convention).
+    """
+    return rhs_field_dirichlet(shape, h, origin) / dirichlet_operator_eigenvalue(h)
+
+
+def continuum_solution(
+    shape: tuple[int, int, int],
+    h: float,
+    origin: tuple[int, int, int] = (0, 0, 0),
+) -> np.ndarray:
+    """The PDE solution ``u = -b / (12 pi**2)`` sampled at cell centres.
+
+    Used by convergence-order tests: the discrete solution approaches
+    this at second order in ``h``.
+    """
+    return rhs_field(shape, h, origin) / (-12.0 * np.pi**2)

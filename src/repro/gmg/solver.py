@@ -1,0 +1,317 @@
+"""Public solver API: configure, solve, inspect.
+
+:class:`GMGSolver` assembles the whole stack — domain decomposition,
+per-rank level hierarchies, ghost exchangers, simulated MPI — from a
+declarative :class:`SolverConfig`, runs Algorithm 1, and exposes the
+assembled global solution plus the instrumentation record.
+
+Example
+-------
+>>> from repro.gmg import GMGSolver, SolverConfig
+>>> solver = GMGSolver(SolverConfig(global_cells=32, num_levels=3,
+...                                 brick_dim=4))
+>>> result = solver.solve()
+>>> result.converged
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.exchange import HaloExchange, LocalPeriodicExchange
+from repro.comm.simmpi import SimComm
+from repro.comm.topology import CartTopology
+from repro.gmg.level import Level, level_brick_dim
+from repro.gmg.problem import CONVERGENCE_TOL, rhs_field
+from repro.gmg.vcycle import VCycle
+from repro.instrument import Recorder
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Everything that defines one GMG run.
+
+    Defaults mirror the paper's setup scaled to problem size; the paper
+    itself runs ``global_cells=1024``, six levels, 12 smooths, 100
+    bottom smooths, brick dimension 8 (4 on Sunspot) over 8 ranks.
+    """
+
+    global_cells: int = 32
+    num_levels: int = 3
+    brick_dim: int = 4
+    max_smooths: int = 12
+    bottom_smooths: int = 100
+    tol: float = CONVERGENCE_TOL
+    max_vcycles: int = 100
+    ordering: str = "surface-major"
+    communication_avoiding: bool = True
+    rank_dims: tuple[int, int, int] = (1, 1, 1)
+    ranks_per_node: int = 1
+    #: smoother registry name: jacobi (paper) / gsrb / sor / chebyshev
+    smoother: str = "jacobi"
+    #: keyword arguments for the smoother constructor (e.g. omega)
+    smoother_options: tuple = ()
+    #: bottom solver registry name: relaxation (paper) / cg / fft
+    bottom_solver: str = "relaxation"
+    #: keyword arguments for the bottom solver constructor
+    bottom_options: tuple = ()
+    #: multigrid cycle type: V (paper) / W / F
+    cycle: str = "V"
+    #: field precision: "fp64" (paper) or "fp32" (mixed-precision inner
+    #: solves; see repro.gmg.mixed for the iterative-refinement driver)
+    precision: str = "fp64"
+    #: domain boundary condition: "periodic" (paper) / "dirichlet" /
+    #: "neumann" (homogeneous, cell-centred mirror ghosts)
+    boundary: str = "periodic"
+
+    def __post_init__(self) -> None:
+        from repro.gmg.bottom import BOTTOM_SOLVERS
+        from repro.gmg.smoothers import SMOOTHERS
+        from repro.gmg.vcycle import CYCLE_TYPES
+
+        if self.smoother not in SMOOTHERS:
+            raise ValueError(
+                f"unknown smoother {self.smoother!r}; choose from "
+                f"{sorted(SMOOTHERS)}"
+            )
+        if self.bottom_solver not in BOTTOM_SOLVERS:
+            raise ValueError(
+                f"unknown bottom solver {self.bottom_solver!r}; choose from "
+                f"{sorted(BOTTOM_SOLVERS)}"
+            )
+        if self.cycle not in CYCLE_TYPES:
+            raise ValueError(f"cycle must be one of {CYCLE_TYPES}: {self.cycle!r}")
+        if self.precision not in ("fp64", "fp32"):
+            raise ValueError(
+                f"precision must be 'fp64' or 'fp32': {self.precision!r}"
+            )
+        if self.boundary not in ("periodic", "dirichlet", "neumann"):
+            raise ValueError(
+                "boundary must be 'periodic', 'dirichlet' or 'neumann': "
+                f"{self.boundary!r}"
+            )
+        if self.boundary != "periodic" and self.bottom_solver == "fft":
+            raise ValueError(
+                "the FFT bottom solver diagonalises the periodic operator "
+                "only; use 'relaxation' or 'cg' with Dirichlet/Neumann"
+            )
+        if self.global_cells < 2:
+            raise ValueError("global_cells must be at least 2")
+        if self.num_levels < 1:
+            raise ValueError("num_levels must be at least 1")
+        for d, p in enumerate(self.rank_dims):
+            if self.global_cells % p:
+                raise ValueError(
+                    f"rank_dims[{d}]={p} does not divide global_cells="
+                    f"{self.global_cells}"
+                )
+        per_rank = tuple(self.global_cells // p for p in self.rank_dims)
+        for lev in range(self.num_levels):
+            cells = tuple(c >> lev for c in per_rank)
+            if any(c % (1 << lev) for c in per_rank):
+                raise ValueError(
+                    f"per-rank size {per_rank} not divisible by 2^{lev} "
+                    f"for level {lev}"
+                )
+            if any(s < 1 for s in cells):
+                raise ValueError(
+                    f"level {lev} would have an empty subdomain: {cells}"
+                )
+
+    @property
+    def num_ranks(self) -> int:
+        p0, p1, p2 = self.rank_dims
+        return p0 * p1 * p2
+
+    @property
+    def cells_per_rank(self) -> tuple[int, int, int]:
+        return tuple(self.global_cells // p for p in self.rank_dims)
+
+    def level_spacing(self, lev: int) -> float:
+        """Grid spacing ``h`` at level ``lev``."""
+        return (1 << lev) / self.global_cells
+
+
+@dataclass
+class SolveResult:
+    """Outcome of :meth:`GMGSolver.solve`."""
+
+    converged: bool
+    num_vcycles: int
+    residual_history: list[float]
+    recorder: Recorder = field(repr=False)
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_history[-1]
+
+    @property
+    def convergence_factor(self) -> float:
+        """Geometric-mean residual reduction per V-cycle."""
+        if self.num_vcycles == 0:
+            return 1.0
+        first, last = self.residual_history[0], self.residual_history[-1]
+        if first <= 0:
+            return 0.0
+        return (last / first) ** (1.0 / self.num_vcycles)
+
+
+class GMGSolver:
+    """Brick-based geometric multigrid on the paper's model problem."""
+
+    def __init__(self, config: SolverConfig) -> None:
+        from repro.gmg.boundary import BoundaryCondition
+
+        self.config = config
+        self.recorder = Recorder()
+        self.boundary = BoundaryCondition(config.boundary)
+        self.topology = CartTopology(
+            config.rank_dims,
+            config.ranks_per_node,
+            periodic=self.boundary is BoundaryCondition.PERIODIC,
+        )
+        self.comm = SimComm(self.topology.size) if self.topology.size > 1 else None
+
+        per_rank = config.cells_per_rank
+        self.rank_levels: list[list[Level]] = []
+        for rank in range(self.topology.size):
+            levels = []
+            for lev in range(config.num_levels):
+                cells = tuple(c >> lev for c in per_rank)
+                bdim = level_brick_dim(min(cells), config.brick_dim)
+                levels.append(
+                    Level(
+                        lev,
+                        cells,
+                        bdim,
+                        config.level_spacing(lev),
+                        config.ordering,
+                        dtype=np.float32 if config.precision == "fp32" else np.float64,
+                    )
+                )
+            self.rank_levels.append(levels)
+
+        self.exchangers = []
+        for lev in range(config.num_levels):
+            grid = self.rank_levels[0][lev].grid
+            if self.comm is None:
+                self.exchangers.append(
+                    LocalPeriodicExchange(grid, self.recorder, self.boundary)
+                )
+            else:
+                self.exchangers.append(
+                    HaloExchange(
+                        grid, self.topology, self.comm, self.recorder, self.boundary
+                    )
+                )
+
+        self._init_rhs()
+        from repro.gmg.bottom import make_bottom_solver
+        from repro.gmg.smoothers import make_smoother
+
+        bottom_kwargs = dict(config.bottom_options)
+        if config.bottom_solver == "relaxation" and "iterations" not in bottom_kwargs:
+            bottom_kwargs["iterations"] = config.bottom_smooths
+        if config.bottom_solver == "cg" and "project_nullspace" not in bottom_kwargs:
+            # the Dirichlet operator is non-singular; periodic/Neumann
+            # have the constant nullspace
+            bottom_kwargs["project_nullspace"] = config.boundary != "dirichlet"
+        self.vcycle = VCycle(
+            self.rank_levels,
+            self.exchangers,
+            max_smooths=config.max_smooths,
+            bottom_smooths=config.bottom_smooths,
+            communication_avoiding=config.communication_avoiding,
+            recorder=self.recorder,
+            smoother=make_smoother(config.smoother, **dict(config.smoother_options)),
+            bottom_solver=make_bottom_solver(config.bottom_solver, **bottom_kwargs),
+            cycle=config.cycle,
+            allreduce_max=self.comm.allreduce_max if self.comm is not None else None,
+            allreduce_sum=self.comm.allreduce_sum if self.comm is not None else None,
+            topology=self.topology,
+        )
+
+    def _init_rhs(self) -> None:
+        from repro.gmg.problem import rhs_field_dirichlet
+
+        h = self.config.level_spacing(0)
+        per_rank = self.config.cells_per_rank
+        rhs = rhs_field if self.config.boundary == "periodic" else rhs_field_dirichlet
+        for rank, levels in enumerate(self.rank_levels):
+            origin = self.topology.subdomain_origin(rank, per_rank)
+            levels[0].b.set_interior(rhs(per_rank, h, origin))
+
+    # ------------------------------------------------------------------
+    def solve(self) -> SolveResult:
+        """Run Algorithm 1 to convergence (or ``max_vcycles``)."""
+        history = self.vcycle.solve(self.config.tol, self.config.max_vcycles)
+        if self.comm is not None:
+            self.comm.assert_drained()
+        return SolveResult(
+            converged=history[-1] <= self.config.tol,
+            num_vcycles=len(history) - 1,
+            residual_history=history,
+            recorder=self.recorder,
+        )
+
+    def solution(self) -> np.ndarray:
+        """Assemble the global finest-level solution as a dense array."""
+        N = self.config.global_cells
+        out = np.empty((N, N, N), dtype=np.float64)
+        per_rank = self.config.cells_per_rank
+        for rank, levels in enumerate(self.rank_levels):
+            o = self.topology.subdomain_origin(rank, per_rank)
+            out[
+                o[0] : o[0] + per_rank[0],
+                o[1] : o[1] + per_rank[1],
+                o[2] : o[2] + per_rank[2],
+            ] = levels[0].x.to_ijk()
+        return out
+
+    def residual_dense(self) -> np.ndarray:
+        """Assemble the global finest-level residual."""
+        N = self.config.global_cells
+        out = np.empty((N, N, N), dtype=np.float64)
+        per_rank = self.config.cells_per_rank
+        for rank, levels in enumerate(self.rank_levels):
+            o = self.topology.subdomain_origin(rank, per_rank)
+            out[
+                o[0] : o[0] + per_rank[0],
+                o[1] : o[1] + per_rank[1],
+                o[2] : o[2] + per_rank[2],
+            ] = levels[0].r.to_ijk()
+        return out
+
+
+def estimate_solve_time(config: SolverConfig, machine, num_vcycles: int) -> float:
+    """Model the wall-clock of ``config`` on a machine (seconds).
+
+    Bridges the functional and performance layers: the same
+    configuration a :class:`GMGSolver` executes numerically is priced by
+    :class:`repro.harness.vcycle_sim.TimedSolve` for any of the paper's
+    machines — e.g. "this 1024^3 solve would take ~2.8 s on Perlmutter".
+    Requires a periodic configuration (the harness models the paper's
+    experiments).
+    """
+    from repro.harness.vcycle_sim import TimedSolve, WorkloadConfig
+
+    if config.boundary != "periodic":
+        raise ValueError("the performance harness models periodic runs only")
+    per_rank = config.cells_per_rank
+    workload = WorkloadConfig(
+        per_rank_cells=per_rank,
+        num_levels=config.num_levels,
+        max_smooths=config.max_smooths,
+        bottom_smooths=config.bottom_smooths,
+        num_vcycles=num_vcycles,
+        rank_dims=config.rank_dims,
+        ranks_per_node=config.ranks_per_node,
+        communication_avoiding=config.communication_avoiding,
+        ordering=config.ordering,
+        brick_dim=config.brick_dim,
+        precision=config.precision,
+    )
+    return TimedSolve(machine, workload).total_solve_time()

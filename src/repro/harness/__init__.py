@@ -1,0 +1,20 @@
+"""Experiment harness: the paper's figures and tables, regenerated.
+
+:mod:`~repro.harness.vcycle_sim` prices one GMG solve on a machine
+model, producing per-level, per-operation times with exactly the
+operation and message schedule of the functional solver (tests assert
+the two agree).  :mod:`~repro.harness.experiments` packages one driver
+per paper figure/table; :mod:`~repro.harness.reporting` renders results
+in the paper's output formats.
+"""
+
+from repro.harness.vcycle_sim import TimedSolve, WorkloadConfig, decompose_for
+from repro.harness import experiments, reporting
+
+__all__ = [
+    "WorkloadConfig",
+    "TimedSolve",
+    "decompose_for",
+    "experiments",
+    "reporting",
+]

@@ -1,0 +1,405 @@
+"""One driver per paper figure/table.
+
+Each function returns plain data (dataclasses/dicts of floats) so the
+benchmarks can both print paper-style output and assert the qualitative
+claims (who wins, by what factor, where the crossovers sit).  See
+DESIGN.md's per-experiment index for the mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.comm.topology import factor_ranks
+from repro.dsl.library import VCYCLE_OPERATIONS
+from repro.harness.vcycle_sim import TimedSolve, WorkloadConfig, decompose_for
+from repro.machines.gpu_model import (
+    gstencil_per_invocation,
+    theoretical_gstencil_ceiling,
+)
+from repro.machines.specs import MACHINES, PERLMUTTER, MachineSpec
+from repro.perf.linear_model import LatencyBandwidthFit, fit_from_times
+from repro.perf.portability import efficiency_table_phi
+from repro.perf.speedup import machine_speedup_points
+
+#: The 8-node workload every Section VI experiment uses.
+PAPER_WORKLOAD = WorkloadConfig()
+
+
+def _machines(names: list[str] | None = None) -> dict[str, MachineSpec]:
+    if names is None:
+        return dict(MACHINES)
+    return {n: MACHINES[n] for n in names}
+
+
+# ----------------------------------------------------------------------
+# Figure 3: total execution time per level
+# ----------------------------------------------------------------------
+@dataclass
+class Fig3Result:
+    workload: WorkloadConfig
+    #: machine -> per-level total seconds over the full solve
+    level_totals: dict[str, list[float]]
+    #: machine -> per-level per-op seconds
+    level_breakdown: dict[str, list[dict[str, float]]]
+
+
+def fig3_time_per_level(workload: WorkloadConfig | None = None) -> Fig3Result:
+    workload = workload or PAPER_WORKLOAD
+    totals: dict[str, list[float]] = {}
+    breakdown: dict[str, list[dict[str, float]]] = {}
+    for name, machine in _machines().items():
+        ts = TimedSolve(machine, workload)
+        levels = ts.solve_level_times()
+        breakdown[name] = levels
+        totals[name] = [sum(lv.values()) for lv in levels]
+    return Fig3Result(workload, totals, breakdown)
+
+
+# ----------------------------------------------------------------------
+# Figure 4: relative performance vs HPGMG
+# ----------------------------------------------------------------------
+@dataclass
+class Fig4Result:
+    hpgmg_vcycle_seconds: float  # HPGMG-CUDA on Perlmutter (its only port)
+    ours_vcycle_seconds: dict[str, float]
+    #: machine -> HPGMG time / our time (paper: 1.58, 1.46, ~1.0)
+    relative_performance: dict[str, float]
+
+
+def fig4_vs_hpgmg(workload: WorkloadConfig | None = None) -> Fig4Result:
+    workload = workload or PAPER_WORKLOAD
+    hpgmg = TimedSolve(
+        PERLMUTTER, replace(workload, baseline=True)
+    ).time_per_vcycle()
+    ours = {
+        name: TimedSolve(machine, workload).time_per_vcycle()
+        for name, machine in _machines().items()
+    }
+    return Fig4Result(
+        hpgmg_vcycle_seconds=hpgmg,
+        ours_vcycle_seconds=ours,
+        relative_performance={name: hpgmg / t for name, t in ours.items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# Table II: finest-level operation breakdown
+# ----------------------------------------------------------------------
+#: Paper Table II values for cross-checking.
+TABLE2_PAPER = {
+    "Perlmutter": {
+        "applyOp": 0.250,
+        "smooth+residual": 0.545,
+        "restriction": 0.010,
+        "interpolation+increment": 0.019,
+        "exchange": 0.175,
+    },
+    "Frontier": {
+        "applyOp": 0.307,
+        "smooth+residual": 0.500,
+        "restriction": 0.011,
+        "interpolation+increment": 0.054,
+        "exchange": 0.128,
+    },
+    "Sunspot": {
+        "applyOp": 0.225,
+        "smooth+residual": 0.531,
+        "restriction": 0.015,
+        "interpolation+increment": 0.025,
+        "exchange": 0.204,
+    },
+}
+
+
+def table2_op_breakdown(
+    workload: WorkloadConfig | None = None,
+) -> dict[str, dict[str, float]]:
+    workload = workload or PAPER_WORKLOAD
+    return {
+        name: TimedSolve(machine, workload).op_fractions_finest()
+        for name, machine in _machines().items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 5: kernel GStencil/s across levels + linear-model fit
+# ----------------------------------------------------------------------
+@dataclass
+class KernelThroughputSeries:
+    op: str
+    machine: str
+    points: list[int]
+    gstencil: list[float]
+    fit: LatencyBandwidthFit
+    ceiling_gstencil: float  # dashed line: measured BW / compulsory bytes
+
+
+def fig5_kernel_throughput(
+    op: str = "applyOp", workload: WorkloadConfig | None = None
+) -> dict[str, KernelThroughputSeries]:
+    workload = workload or PAPER_WORKLOAD
+    out = {}
+    for name, machine in _machines().items():
+        ts = TimedSolve(machine, workload)
+        points = [geo.points for geo in ts.levels]
+        rates = [gstencil_per_invocation(ts.machine, op, p) for p in points]
+        times = np.array([p / (r * 1e9) for p, r in zip(points, rates)])
+        fit = fit_from_times(np.array(points, dtype=float), times)
+        out[name] = KernelThroughputSeries(
+            op=op,
+            machine=name,
+            points=points,
+            gstencil=rates,
+            fit=fit,
+            ceiling_gstencil=theoretical_gstencil_ceiling(machine, op),
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 6: exchange bandwidth across levels + linear-model fit
+# ----------------------------------------------------------------------
+@dataclass
+class ExchangeBandwidthSeries:
+    machine: str
+    total_bytes: list[int]
+    gbs: list[float]
+    fit: LatencyBandwidthFit
+    nic_peak_gbs: float
+
+
+def fig6_exchange_bandwidth(
+    workload: WorkloadConfig | None = None,
+) -> dict[str, ExchangeBandwidthSeries]:
+    workload = workload or PAPER_WORKLOAD
+    out = {}
+    for name, machine in _machines().items():
+        ts = TimedSolve(machine, workload)
+        sizes, times = [], []
+        for lev in range(workload.num_levels):
+            sizes.append(ts.exchange_total_bytes(lev, nfields=1))
+            times.append(ts.exchange_seconds(lev, nfields=1))
+        fit = fit_from_times(np.array(sizes, dtype=float), np.array(times))
+        out[name] = ExchangeBandwidthSeries(
+            machine=name,
+            total_bytes=sizes,
+            gbs=[s / t / 1e9 for s, t in zip(sizes, times)],
+            fit=fit,
+            nic_peak_gbs=machine.network.nic_peak_gbs,
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Tables III / V: performance portability
+# ----------------------------------------------------------------------
+@dataclass
+class PortabilityResult:
+    #: op -> machine -> efficiency
+    efficiencies: dict[str, dict[str, float]]
+    #: op -> Phi across machines
+    per_op_phi: dict[str, float]
+    overall_phi: float
+
+
+def _portability(attr: str) -> PortabilityResult:
+    table = {
+        op: {
+            name: getattr(machine.gpu, attr)[op]
+            for name, machine in _machines().items()
+        }
+        for op in VCYCLE_OPERATIONS
+    }
+    per_op, overall = efficiency_table_phi(table)
+    return PortabilityResult(table, per_op, overall)
+
+
+def table3_portability_roofline() -> PortabilityResult:
+    """Phi from fraction-of-Roofline efficiencies (paper: >= 73%)."""
+    return _portability("op_roofline_fraction")
+
+
+def table5_portability_ai() -> PortabilityResult:
+    """Phi from fraction-of-theoretical-AI (paper: ~92%)."""
+    return _portability("op_ai_fraction")
+
+
+# ----------------------------------------------------------------------
+# Figure 7: potential speedup scatter
+# ----------------------------------------------------------------------
+def fig7_potential_speedup() -> dict[str, dict[str, tuple[float, float, float]]]:
+    """machine -> op -> (ai_fraction, roofline_fraction, speedup)."""
+    return {
+        name: machine_speedup_points(machine)
+        for name, machine in _machines().items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Figures 8/9: weak and strong scaling
+# ----------------------------------------------------------------------
+@dataclass
+class ScalingResult:
+    machine: str
+    mode: str  # 'weak' | 'strong'
+    nodes: list[int]
+    ranks: list[int]
+    gstencil: list[float]
+    efficiency: list[float]
+    solve_seconds: list[float]
+
+
+#: Node ladders: Perlmutter/Frontier scale to 128 nodes, Sunspot (a
+#: 128-node testbed with partial access) to 16 (Section VIII).
+WEAK_NODE_LADDER = {
+    "Perlmutter": [2, 4, 8, 16, 32, 64, 128],
+    "Frontier": [2, 4, 8, 16, 32, 64, 128],
+    "Sunspot": [2, 4, 8, 16],  # paper: "12 to 96 INTEL PVC GPUs" = 2..16 nodes
+}
+
+#: Fixed global domains for strong scaling (Section VIII).
+STRONG_GLOBAL_CELLS = {
+    "Perlmutter": (1024, 1024, 1024),
+    "Frontier": (2048, 1024, 1024),  # 2 x 1024^3
+    "Sunspot": (3072, 1024, 1024),  # 3 x 1024^3
+}
+
+
+def fig8_weak_scaling(
+    machine_name: str, per_rank: int = 512, num_levels: int = 6
+) -> ScalingResult:
+    machine = MACHINES[machine_name]
+    rpn = machine.node.ranks_per_node
+    nodes_list = WEAK_NODE_LADDER[machine_name]
+    gst, secs, ranks_list = [], [], []
+    for nodes in nodes_list:
+        ranks = nodes * rpn
+        w = WorkloadConfig(
+            per_rank_cells=(per_rank,) * 3,
+            num_levels=num_levels,
+            rank_dims=factor_ranks(ranks),
+            ranks_per_node=rpn,
+        )
+        ts = TimedSolve(machine, w)
+        secs.append(ts.total_solve_time())
+        gst.append(ts.gstencil_per_second())
+        ranks_list.append(ranks)
+    eff = [secs[0] / t for t in secs]
+    return ScalingResult(
+        machine=machine_name,
+        mode="weak",
+        nodes=nodes_list,
+        ranks=ranks_list,
+        gstencil=gst,
+        efficiency=eff,
+        solve_seconds=secs,
+    )
+
+
+def fig9_strong_scaling(machine_name: str, num_levels: int = 6) -> ScalingResult:
+    machine = MACHINES[machine_name]
+    rpn = machine.node.ranks_per_node
+    nodes_list = WEAK_NODE_LADDER[machine_name]
+    global_cells = STRONG_GLOBAL_CELLS[machine_name]
+    gst, secs, ranks_list = [], [], []
+    for nodes in nodes_list:
+        ranks = nodes * rpn
+        dims = decompose_for(global_cells, ranks)
+        per_rank = tuple(c // d for c, d in zip(global_cells, dims))
+        w = WorkloadConfig(
+            per_rank_cells=per_rank,
+            num_levels=num_levels,
+            rank_dims=dims,
+            ranks_per_node=rpn,
+        )
+        ts = TimedSolve(machine, w)
+        secs.append(ts.total_solve_time())
+        gst.append(ts.gstencil_per_second())
+        ranks_list.append(ranks)
+    base_rate = gst[0] / ranks_list[0]
+    eff = [g / (base_rate * r) for g, r in zip(gst, ranks_list)]
+    return ScalingResult(
+        machine=machine_name,
+        mode="strong",
+        nodes=nodes_list,
+        ranks=ranks_list,
+        gstencil=gst,
+        efficiency=eff,
+        solve_seconds=secs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablations (Section V optimisations / Section IX discussion)
+# ----------------------------------------------------------------------
+@dataclass
+class AblationResult:
+    machine: str
+    #: variant name -> time per V-cycle (seconds)
+    vcycle_seconds: dict[str, float]
+
+
+def ablation_optimizations(machine_name: str = "Perlmutter") -> AblationResult:
+    """Time per V-cycle with individual optimisations disabled."""
+    machine = MACHINES[machine_name]
+    base = PAPER_WORKLOAD
+    variants = {
+        "all-optimizations": base,
+        "no-communication-avoiding": replace(base, communication_avoiding=False),
+        "lexicographic-ordering": replace(base, ordering="lexicographic"),
+        "no-gpu-aware-mpi": replace(base, gpu_aware=False),
+        "brick-4": replace(base, brick_dim=4),
+        "brick-16": replace(base, brick_dim=16),
+        "hpgmg-baseline": replace(base, baseline=True),
+    }
+    return AblationResult(
+        machine=machine_name,
+        vcycle_seconds={
+            name: TimedSolve(machine, w).time_per_vcycle()
+            for name, w in variants.items()
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Section IX: where does strong scaling's time go?
+# ----------------------------------------------------------------------
+@dataclass
+class LatencyBreakdown:
+    machine: str
+    nodes: list[int]
+    #: per node count: {bucket: seconds per V-cycle}
+    decompositions: list[dict[str, float]]
+    latency_fractions: list[float]
+
+
+def strong_scaling_breakdown(machine_name: str) -> LatencyBreakdown:
+    """Latency-vs-streaming decomposition along the Fig. 9 ladder.
+
+    Quantifies the paper's Section IX diagnosis: as strong scaling
+    shrinks the per-rank problem, kernel-launch and per-message
+    overheads stop amortising and come to dominate the V-cycle.
+    """
+    machine = MACHINES[machine_name]
+    rpn = machine.node.ranks_per_node
+    global_cells = STRONG_GLOBAL_CELLS[machine_name]
+    nodes_list = WEAK_NODE_LADDER[machine_name]
+    decomps, fractions = [], []
+    for nodes in nodes_list:
+        ranks = nodes * rpn
+        dims = decompose_for(global_cells, ranks)
+        per_rank = tuple(c // d for c, d in zip(global_cells, dims))
+        w = WorkloadConfig(per_rank_cells=per_rank, num_levels=6,
+                           rank_dims=dims, ranks_per_node=rpn)
+        ts = TimedSolve(machine, w)
+        decomps.append(ts.time_decomposition())
+        fractions.append(ts.latency_fraction())
+    return LatencyBreakdown(
+        machine=machine_name,
+        nodes=nodes_list,
+        decompositions=decomps,
+        latency_fractions=fractions,
+    )

@@ -1,0 +1,81 @@
+"""Structured export of experiment results.
+
+Every figure/table driver's output can be serialised to JSON so the
+series behind each plot are machine-readable (gnuplot/pandas-ready)
+rather than trapped in rendered text.  ``export_all`` regenerates the
+complete set, which is what ``python -m repro experiment all --json``
+writes next to the rendered reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any
+
+from repro.harness import experiments as E
+from repro.perf import ai_comparison_rows
+
+
+def _plain(value: Any) -> Any:
+    """Recursively convert experiment results to JSON-compatible data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _plain(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return str(value)
+
+
+def experiment_payloads() -> dict[str, Any]:
+    """All experiment results as plain data, keyed by paper element."""
+    return {
+        "fig3": _plain(E.fig3_time_per_level()),
+        "fig4": _plain(E.fig4_vs_hpgmg()),
+        "table2": _plain(E.table2_op_breakdown()),
+        "fig5_applyOp": _plain(E.fig5_kernel_throughput("applyOp")),
+        "fig5_smooth_residual": _plain(
+            E.fig5_kernel_throughput("smooth+residual")
+        ),
+        "fig6": _plain(E.fig6_exchange_bandwidth()),
+        "table3": _plain(E.table3_portability_roofline()),
+        "table4": [
+            {"operation": op, "ours": ours, "paper": paper, "diff": diff}
+            for op, ours, paper, diff in ai_comparison_rows()
+        ],
+        "table5": _plain(E.table5_portability_ai()),
+        "fig7": _plain(E.fig7_potential_speedup()),
+        "fig8": {
+            m: _plain(E.fig8_weak_scaling(m))
+            for m in ("Perlmutter", "Frontier", "Sunspot")
+        },
+        "fig9": {
+            m: _plain(E.fig9_strong_scaling(m))
+            for m in ("Perlmutter", "Frontier", "Sunspot")
+        },
+        "ablations": {
+            m: _plain(E.ablation_optimizations(m))
+            for m in ("Perlmutter", "Frontier", "Sunspot")
+        },
+    }
+
+
+def export_all(directory: str | pathlib.Path) -> list[pathlib.Path]:
+    """Write one ``<element>.json`` per experiment; returns the paths."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, payload in experiment_payloads().items():
+        path = directory / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        written.append(path)
+    return written

@@ -1,0 +1,169 @@
+"""Render experiment results in the paper's output formats."""
+
+from __future__ import annotations
+
+import io
+
+from repro.harness.experiments import (
+    AblationResult,
+    ExchangeBandwidthSeries,
+    Fig3Result,
+    Fig4Result,
+    KernelThroughputSeries,
+    PortabilityResult,
+    ScalingResult,
+)
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    buf = io.StringIO()
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    buf.write(line + "\n")
+    buf.write("-" * len(line) + "\n")
+    for r in rows:
+        buf.write("  ".join(c.ljust(w) for c, w in zip(r, widths)) + "\n")
+    return buf.getvalue()
+
+
+def render_fig3(result: Fig3Result) -> str:
+    machines = list(result.level_totals)
+    levels = len(next(iter(result.level_totals.values())))
+    rows = [
+        [f"level {lev}"]
+        + [f"{result.level_totals[m][lev]:.4f}" for m in machines]
+        for lev in range(levels)
+    ]
+    header = "Figure 3 — total execution time per level (seconds, full solve)\n"
+    return header + _table(["level"] + machines, rows)
+
+
+def render_fig4(result: Fig4Result) -> str:
+    rows = [
+        [
+            m,
+            f"{result.ours_vcycle_seconds[m] * 1e3:.1f} ms",
+            f"{result.relative_performance[m]:.2f}x",
+        ]
+        for m in result.relative_performance
+    ]
+    header = (
+        "Figure 4 — relative performance vs HPGMG "
+        f"(HPGMG-CUDA on Perlmutter: {result.hpgmg_vcycle_seconds * 1e3:.1f} "
+        "ms per V-cycle)\n"
+    )
+    return header + _table(["machine", "ours / V-cycle", "rel. perf"], rows)
+
+
+def render_table2(fractions: dict[str, dict[str, float]]) -> str:
+    ops = list(next(iter(fractions.values())))
+    machines = list(fractions)
+    rows = [
+        [op] + [f"{fractions[m][op] * 100:.1f}%" for m in machines] for op in ops
+    ]
+    header = "Table II — share of finest-level time per operation\n"
+    return header + _table(["Operation"] + machines, rows)
+
+
+def render_fig5(series: dict[str, KernelThroughputSeries]) -> str:
+    first = next(iter(series.values()))
+    buf = io.StringIO()
+    buf.write(f"Figure 5 — {first.op} GStencil/s per invocation across levels\n")
+    for name, s in series.items():
+        buf.write(
+            f"{name}: ceiling {s.ceiling_gstencil:.1f} GStencil/s, fitted "
+            f"alpha {s.fit.alpha * 1e6:.1f} us, beta "
+            f"{s.fit.beta / 1e9:.1f} GStencil/s\n"
+        )
+        for p, g in zip(s.points, s.gstencil):
+            buf.write(f"  {p:>12d} pts  {g:8.2f} GStencil/s\n")
+    return buf.getvalue()
+
+
+def render_fig6(series: dict[str, ExchangeBandwidthSeries]) -> str:
+    buf = io.StringIO()
+    buf.write("Figure 6 — exchange GB/s across levels (NIC peak 25 GB/s)\n")
+    for name, s in series.items():
+        buf.write(
+            f"{name}: fitted alpha {s.fit.alpha * 1e6:.0f} us, beta "
+            f"{s.fit.beta / 1e9:.1f} GB/s\n"
+        )
+        for b, g in zip(s.total_bytes, s.gbs):
+            buf.write(f"  {b / 1e6:10.3f} MB  {g:7.2f} GB/s\n")
+    return buf.getvalue()
+
+
+def render_portability(result: PortabilityResult, title: str) -> str:
+    machines = list(next(iter(result.efficiencies.values())))
+    rows = []
+    for op, effs in result.efficiencies.items():
+        rows.append(
+            [op]
+            + [f"{effs[m] * 100:.0f}%" for m in machines]
+            + [f"{result.per_op_phi[op] * 100:.0f}%"]
+        )
+    header = f"{title} (overall Phi = {result.overall_phi * 100:.0f}%)\n"
+    return header + _table(["Operation"] + machines + ["Phi"], rows)
+
+
+def render_table4(rows: list[tuple[str, float, float, float]]) -> str:
+    body = [
+        [op, f"{ours:.3f}", f"{paper:.3f}", f"{diff:.3f}"]
+        for op, ours, paper, diff in rows
+    ]
+    header = "Table IV — theoretical arithmetic intensity (FLOP:byte)\n"
+    return header + _table(["Operation", "ours", "paper", "|diff|"], body)
+
+
+def render_fig7(points: dict[str, dict[str, tuple[float, float, float]]]) -> str:
+    buf = io.StringIO()
+    buf.write(
+        "Figure 7 — potential speedup (x: fraction theoretical AI, "
+        "y: fraction Roofline)\n"
+    )
+    for machine, ops in points.items():
+        buf.write(f"{machine}:\n")
+        for op, (fa, fr, sp) in ops.items():
+            buf.write(
+                f"  {op:<26s} x={fa:.2f} y={fr:.2f} potential={sp:.2f}x\n"
+            )
+    return buf.getvalue()
+
+
+def render_scaling(result: ScalingResult) -> str:
+    rows = [
+        [
+            str(n),
+            str(r),
+            f"{g:.2f}",
+            f"{e * 100:.1f}%",
+            f"{t:.2f}",
+        ]
+        for n, r, g, e, t in zip(
+            result.nodes,
+            result.ranks,
+            result.gstencil,
+            result.efficiency,
+            result.solve_seconds,
+        )
+    ]
+    header = (
+        f"Figure {'8' if result.mode == 'weak' else '9'} — {result.mode} "
+        f"scaling on {result.machine}\n"
+    )
+    return header + _table(
+        ["nodes", "ranks", "GStencil/s", "efficiency", "solve (s)"], rows
+    )
+
+
+def render_ablation(result: AblationResult) -> str:
+    base = result.vcycle_seconds["all-optimizations"]
+    rows = [
+        [name, f"{t * 1e3:.1f} ms", f"{t / base:.2f}x"]
+        for name, t in result.vcycle_seconds.items()
+    ]
+    header = f"Ablation — time per V-cycle on {result.machine}\n"
+    return header + _table(["variant", "V-cycle", "vs all-opts"], rows)

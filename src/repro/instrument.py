@@ -1,0 +1,117 @@
+"""Instrumentation: operation and message accounting.
+
+A :class:`Recorder` is threaded through the solver and the exchange
+layer to count every kernel invocation (with its point count) and every
+message (with its payload size and segment count).  Two consumers rely
+on it:
+
+* tests cross-check the performance harness's analytic operation/message
+  counts against what the functional solver actually executed;
+* the timed experiments price each recorded event with a machine model
+  to produce the paper's figures.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class KernelEvent:
+    """One kernel invocation."""
+
+    level: int
+    op: str
+    points: int
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """One point-to-point message within an exchange."""
+
+    level: int
+    nbytes: int
+    direction_kind: str  # 'face' | 'edge' | 'corner'
+    segments: int  # contiguous storage segments gathered to send
+    self_message: bool  # single-rank periodic wrap (no NIC traversal)
+
+
+@dataclass
+class Recorder:
+    """Accumulates kernel and message events for one solve."""
+
+    kernels: list[KernelEvent] = field(default_factory=list)
+    messages: list[MessageEvent] = field(default_factory=list)
+    exchanges: defaultdict = field(default_factory=lambda: defaultdict(int))
+    reductions: int = 0
+
+    # ------------------------------------------------------------------
+    # event entry points
+    # ------------------------------------------------------------------
+    def kernel(self, level: int, op: str, points: int) -> None:
+        self.kernels.append(KernelEvent(level, op, int(points)))
+
+    def message(
+        self,
+        level: int,
+        nbytes: int,
+        direction_kind: str,
+        segments: int = 1,
+        self_message: bool = False,
+    ) -> None:
+        self.messages.append(
+            MessageEvent(level, int(nbytes), direction_kind, segments, self_message)
+        )
+
+    def exchange(self, level: int) -> None:
+        self.exchanges[level] += 1
+
+    def reduction(self) -> None:
+        self.reductions += 1
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def kernel_counts(self) -> dict[tuple[int, str], int]:
+        """``{(level, op): invocation count}``."""
+        out: dict[tuple[int, str], int] = defaultdict(int)
+        for ev in self.kernels:
+            out[(ev.level, ev.op)] += 1
+        return dict(out)
+
+    def kernel_points(self) -> dict[tuple[int, str], int]:
+        """``{(level, op): total points processed}``."""
+        out: dict[tuple[int, str], int] = defaultdict(int)
+        for ev in self.kernels:
+            out[(ev.level, ev.op)] += ev.points
+        return dict(out)
+
+    def message_bytes_by_level(self) -> dict[int, int]:
+        """Total message payload per level (self-messages included)."""
+        out: dict[int, int] = defaultdict(int)
+        for ev in self.messages:
+            out[ev.level] += ev.nbytes
+        return dict(out)
+
+    def message_counts_by_level(self) -> dict[int, int]:
+        out: dict[int, int] = defaultdict(int)
+        for ev in self.messages:
+            out[ev.level] += 1
+        return dict(out)
+
+    def exchange_counts(self) -> dict[int, int]:
+        """``{level: number of exchange phases}``."""
+        return dict(self.exchanges)
+
+    def total_stencil_points(self, ops: tuple[str, ...] | None = None) -> int:
+        """Total points across kernels (optionally restricted to ``ops``)."""
+        return sum(
+            ev.points for ev in self.kernels if ops is None or ev.op in ops
+        )
+
+    def clear(self) -> None:
+        self.kernels.clear()
+        self.messages.clear()
+        self.exchanges.clear()
+        self.reductions = 0

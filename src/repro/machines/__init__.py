@@ -1,0 +1,66 @@
+"""Calibrated machine models for Perlmutter, Frontier and Sunspot.
+
+We do not have A100/MI250X/PVC silicon or a Slingshot fabric, so every
+timed experiment prices the solver's (exactly counted) operations and
+messages with analytic models — the same linear latency/bandwidth
+models the paper itself fits to its measurements (Section VI-A).  The
+calibration constants live in :mod:`repro.machines.specs`, each
+annotated with the paper section or vendor datasheet it came from; the
+models that consume them are:
+
+* :mod:`repro.machines.gpu_model` — kernel time = launch latency +
+  points / attainable rate, with the attainable rate derived from
+  measured HBM bandwidth, the operation's compulsory traffic, and the
+  per-operation code-generation/cache efficiencies of Tables III/V;
+* :mod:`repro.machines.network` — message time = overhead + size /
+  sustained bandwidth, with protocol effects (eager/rendezvous,
+  hardware matching), GPU-aware vs host-staged paths, NIC sharing and
+  a mild scale-dependent contention term;
+* :mod:`repro.machines.roofline` — Roofline ceilings and fractions
+  used by the portability metrics.
+"""
+
+from repro.machines.gpu_model import (
+    attainable_gstencil_rate,
+    kernel_time,
+    pack_time,
+    theoretical_gstencil_ceiling,
+)
+from repro.machines.network import (
+    allreduce_time,
+    exchange_time,
+    message_time,
+    scale_latency_factor,
+)
+from repro.machines.roofline import Roofline, roofline_fraction
+from repro.machines.specs import (
+    FRONTIER,
+    MACHINES,
+    PERLMUTTER,
+    SUNSPOT,
+    GPUSpec,
+    MachineSpec,
+    NetworkSpec,
+    NodeSpec,
+)
+
+__all__ = [
+    "GPUSpec",
+    "NodeSpec",
+    "NetworkSpec",
+    "MachineSpec",
+    "PERLMUTTER",
+    "FRONTIER",
+    "SUNSPOT",
+    "MACHINES",
+    "kernel_time",
+    "pack_time",
+    "attainable_gstencil_rate",
+    "theoretical_gstencil_ceiling",
+    "message_time",
+    "exchange_time",
+    "allreduce_time",
+    "scale_latency_factor",
+    "Roofline",
+    "roofline_fraction",
+]

@@ -1,0 +1,97 @@
+"""GPU kernel timing model.
+
+The paper (Section VI-A) shows kernel time per invocation follows the
+linear model ``t = alpha + points/rate``: a fixed launch/scheduling
+latency plus streaming at an attainable rate.  The attainable rate for
+a memory-bound operation is::
+
+    rate [stencil/s] = e_roofline * f_ai * BW_measured / bytes_per_point
+
+where ``bytes_per_point`` is the operation's compulsory traffic (DSL
+analysis / Table IV), ``f_ai`` is the fraction of theoretical AI the
+cache hierarchy achieves (Table V — f_ai < 1 means extra data moves,
+dividing throughput), and ``e_roofline`` is the fraction of the
+measured-bandwidth roofline the generated code sustains (Table III).
+
+The dashed "theoretical peak" lines of Figure 5 correspond to
+``BW_measured / bytes_per_point`` with both efficiencies at 1 —
+e.g. 1420/16 = 88.75 GStencil/s for applyOp on the A100, the number
+quoted in the paper's text.
+"""
+
+from __future__ import annotations
+
+from repro.dsl.library import OPERATOR_INFO
+from repro.machines.specs import MachineSpec
+
+#: Traffic for ops not covered by OPERATOR_INFO, bytes/point.
+_EXTRA_OP_BYTES = {
+    "initZero": 8,  # one write
+    "residual": 24,  # read Ax, b; write r
+    "pack": 16,  # read + write each packed byte... per byte basis below
+}
+
+
+def bytes_per_point(op: str) -> int:
+    """Compulsory traffic per point for any modelled operation."""
+    info = OPERATOR_INFO.get(op)
+    if info is not None:
+        return info.bytes_per_point
+    if op in _EXTRA_OP_BYTES:
+        return _EXTRA_OP_BYTES[op]
+    raise KeyError(f"unknown operation {op!r}")
+
+
+def _efficiencies(machine: MachineSpec, op: str) -> tuple[float, float]:
+    gpu = machine.gpu
+    e_roof = gpu.op_roofline_fraction.get(op)
+    f_ai = gpu.op_ai_fraction.get(op)
+    if e_roof is None:
+        # ops outside the paper's five (initZero, residual, pack) run at
+        # the machine's smooth-like streaming efficiency
+        e_roof = gpu.op_roofline_fraction["smooth"]
+    if f_ai is None:
+        f_ai = gpu.op_ai_fraction["smooth"]
+    return e_roof, f_ai
+
+
+def theoretical_gstencil_ceiling(machine: MachineSpec, op: str) -> float:
+    """Figure 5's dashed line: measured BW / compulsory bytes, in GStencil/s."""
+    return machine.gpu.hbm_measured_gbs / bytes_per_point(op)
+
+
+def attainable_gstencil_rate(machine: MachineSpec, op: str) -> float:
+    """Sustained points/s (in units of 1e9) for large problem sizes."""
+    e_roof, f_ai = _efficiencies(machine, op)
+    return e_roof * f_ai * theoretical_gstencil_ceiling(machine, op)
+
+
+def kernel_time(machine: MachineSpec, op: str, points: int) -> float:
+    """Seconds for one kernel invocation over ``points`` output points."""
+    if points < 0:
+        raise ValueError(f"points must be non-negative: {points}")
+    if points == 0:
+        return machine.gpu.kernel_launch_latency_s
+    rate = attainable_gstencil_rate(machine, op) * 1e9
+    return machine.gpu.kernel_launch_latency_s + points / rate
+
+
+def pack_time(machine: MachineSpec, nbytes: int) -> float:
+    """One pack (or unpack) pass over ``nbytes`` of message payload.
+
+    A gather/scatter kernel reads and writes each byte once at the
+    machine's streaming rate; charged only when the storage ordering
+    (or a conventional layout) leaves message regions non-contiguous.
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative: {nbytes}")
+    if nbytes == 0:
+        return 0.0
+    e_roof, _ = _efficiencies(machine, "smooth")
+    rate = e_roof * machine.gpu.hbm_measured_gbs * 1e9
+    return machine.gpu.kernel_launch_latency_s + 2.0 * nbytes / rate
+
+
+def gstencil_per_invocation(machine: MachineSpec, op: str, points: int) -> float:
+    """Figure 5's y-axis: 1e-9 * points / time-per-invocation."""
+    return points / kernel_time(machine, op, points) / 1e9

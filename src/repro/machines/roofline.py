@@ -1,0 +1,65 @@
+"""Roofline model (Williams et al. [8]) and derived fractions.
+
+Used two ways, mirroring the paper's Section VII:
+
+* per-machine ceilings for kernel throughput (every V-cycle operation
+  is memory-bound, so the ceiling is ``bandwidth x AI``);
+* efficiency fractions ``e_i(a, p)`` feeding the performance
+  portability metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsl.library import OPERATOR_INFO
+from repro.machines.specs import GPUSpec, MachineSpec
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """A two-ceiling roofline: peak FLOP rate and memory bandwidth."""
+
+    peak_gflops: float
+    bandwidth_gbs: float
+
+    def attainable_gflops(self, ai: float) -> float:
+        """min(peak, bandwidth * AI) — the classic roofline."""
+        if ai <= 0:
+            raise ValueError(f"arithmetic intensity must be positive: {ai}")
+        return min(self.peak_gflops, self.bandwidth_gbs * ai)
+
+    def ridge_point(self) -> float:
+        """AI at which the kernel stops being memory-bound."""
+        return self.peak_gflops / self.bandwidth_gbs
+
+    def is_memory_bound(self, ai: float) -> bool:
+        return ai < self.ridge_point()
+
+
+def machine_roofline(gpu: GPUSpec, empirical: bool = True) -> Roofline:
+    """The GPU's roofline (empirical = measured bandwidth, mixbench-style)."""
+    bw = gpu.hbm_measured_gbs if empirical else gpu.hbm_peak_gbs
+    return Roofline(peak_gflops=gpu.peak_fp64_gflops, bandwidth_gbs=bw)
+
+
+def roofline_fraction(attained_gflops: float, ai: float, roof: Roofline) -> float:
+    """Fraction of the roofline a kernel attains at intensity ``ai``."""
+    ceiling = roof.attainable_gflops(ai)
+    if attained_gflops < 0:
+        raise ValueError(f"attained rate must be non-negative: {attained_gflops}")
+    return attained_gflops / ceiling
+
+
+def all_ops_memory_bound(machine: MachineSpec) -> bool:
+    """The paper's premise: every V-cycle operation is memory-bound.
+
+    True on all three machines since the largest theoretical AI
+    (applyOp, 0.5 FLOP/B) sits far left of every ridge point
+    (~7-17 FLOP/B).
+    """
+    roof = machine_roofline(machine.gpu)
+    return all(
+        roof.is_memory_bound(info.arithmetic_intensity)
+        for info in OPERATOR_INFO.values()
+    )

@@ -1,0 +1,113 @@
+"""Set-associative write-back LRU cache simulator.
+
+Counts the DRAM traffic of an address trace: every miss streams one
+line in, every dirty eviction streams one line out (write-allocate,
+write-back — the policy of the GPU L2s the paper's profilers observe).
+The simulator is deliberately simple; it exists to *rank* layouts and
+to bound traffic, not to model any one cache exactly.
+
+Implementation note: accesses are processed line-at-a-time in Python,
+so traces should be kept to a few hundred thousand accesses (a 32^3
+domain sweep is ~1 M accesses and runs in seconds).  An LRU stack per
+set is a short list whose order encodes recency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of the simulated cache."""
+
+    capacity_bytes: int = 8 * 1024
+    line_bytes: int = 64
+    ways: int = 8
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.line_bytes <= 0 or self.ways <= 0:
+            raise ValueError("cache geometry values must be positive")
+        if self.capacity_bytes % (self.line_bytes * self.ways):
+            raise ValueError(
+                "capacity must be a multiple of line_bytes * ways: "
+                f"{self.capacity_bytes} % {self.line_bytes * self.ways}"
+            )
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(f"line size must be a power of two: {self.line_bytes}")
+
+    @property
+    def num_sets(self) -> int:
+        return self.capacity_bytes // (self.line_bytes * self.ways)
+
+
+@dataclass
+class CacheStats:
+    """Traffic accounting for one simulated trace."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    line_bytes: int = 64
+
+    @property
+    def dram_bytes(self) -> int:
+        """Total DRAM traffic: fills plus write-backs."""
+        return (self.misses + self.writebacks) * self.line_bytes
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class CacheSim:
+    """One cache instance; feed it addresses, read off the stats."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._num_sets = config.num_sets
+        # Per set: list of line numbers, most-recently-used last, and a
+        # parallel dirty flag per resident line.
+        self._sets: list[list[int]] = [[] for _ in range(self._num_sets)]
+        self._dirty: list[set[int]] = [set() for _ in range(self._num_sets)]
+        self.stats = CacheStats(line_bytes=config.line_bytes)
+
+    def access(self, addr: int, is_write: bool = False) -> bool:
+        """Touch one byte address; returns True on hit."""
+        line = addr >> self._line_shift
+        s = line % self._num_sets
+        lru = self._sets[s]
+        self.stats.accesses += 1
+        if line in lru:
+            lru.remove(line)
+            lru.append(line)
+            self.stats.hits += 1
+            if is_write:
+                self._dirty[s].add(line)
+            return True
+        self.stats.misses += 1
+        if len(lru) >= self.config.ways:
+            victim = lru.pop(0)
+            if victim in self._dirty[s]:
+                self._dirty[s].discard(victim)
+                self.stats.writebacks += 1
+        lru.append(line)
+        if is_write:
+            self._dirty[s].add(line)
+        return False
+
+    def access_block(self, addrs: np.ndarray, is_write: bool = False) -> None:
+        """Feed a batch of addresses (a convenience over :meth:`access`)."""
+        for a in addrs:
+            self.access(int(a), is_write)
+
+    def flush(self) -> None:
+        """Write back all dirty lines (end-of-kernel drain)."""
+        for s in range(self._num_sets):
+            self.stats.writebacks += len(self._dirty[s])
+            self._dirty[s].clear()
+            self._sets[s].clear()

@@ -1,0 +1,78 @@
+"""Cell-to-address maps for the layouts under comparison.
+
+A layout maps integer cell coordinates ``(i, j, k)`` of an ``N^3``
+domain (periodic) to a byte address.  Two layouts matter:
+
+* :class:`RowMajorLayout` — the conventional ``ijk`` array: address =
+  ``((i*N + j)*N + k) * 8``.  A small 3-D tile of cells touches one
+  short run of bytes per ``(i, j)`` pencil — many separate address
+  streams;
+* :class:`BrickLayout` — fine-grain blocking: the domain is tiled by
+  ``B^3`` bricks, each stored contiguously; a brick is exactly
+  ``B**3 * 8`` consecutive bytes.
+
+Both maps are bijections onto ``[0, N^3 * 8)``; tests verify this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+ITEMSIZE = 8
+
+
+class Layout:
+    """Base: vectorised (i, j, k) -> byte address over an N^3 domain."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"domain size must be positive: {n}")
+        self.n = int(n)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n**3 * ITEMSIZE
+
+    def address(self, i: np.ndarray, j: np.ndarray, k: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def address_wrapped(
+        self, i: np.ndarray, j: np.ndarray, k: np.ndarray
+    ) -> np.ndarray:
+        """Addresses with periodic wrapping of the coordinates."""
+        n = self.n
+        return self.address(
+            np.mod(np.asarray(i), n), np.mod(np.asarray(j), n), np.mod(np.asarray(k), n)
+        )
+
+
+class RowMajorLayout(Layout):
+    """Conventional C-order ``ijk`` array."""
+
+    def address(self, i: np.ndarray, j: np.ndarray, k: np.ndarray) -> np.ndarray:
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        k = np.asarray(k, dtype=np.int64)
+        return ((i * self.n + j) * self.n + k) * ITEMSIZE
+
+
+class BrickLayout(Layout):
+    """Fine-grain blocked layout: contiguous ``B^3`` bricks."""
+
+    def __init__(self, n: int, brick_dim: int) -> None:
+        super().__init__(n)
+        if brick_dim < 1 or n % brick_dim:
+            raise ValueError(
+                f"brick_dim {brick_dim} must divide domain size {n}"
+            )
+        self.brick_dim = int(brick_dim)
+        self.bricks_per_dim = n // brick_dim
+
+    def address(self, i: np.ndarray, j: np.ndarray, k: np.ndarray) -> np.ndarray:
+        i = np.asarray(i, dtype=np.int64)
+        j = np.asarray(j, dtype=np.int64)
+        k = np.asarray(k, dtype=np.int64)
+        B, nb = self.brick_dim, self.bricks_per_dim
+        brick = (((i // B) * nb) + (j // B)) * nb + (k // B)
+        cell = (((i % B) * B) + (j % B)) * B + (k % B)
+        return (brick * B**3 + cell) * ITEMSIZE

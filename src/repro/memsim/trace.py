@@ -1,0 +1,63 @@
+"""Access traces for a 7-point stencil sweep.
+
+One sweep visits every output cell once, in an iteration order tiled by
+cubic blocks (bricks for the brick layout, loop tiles for the
+conventional layout — the "tiled implementations" the paper compares
+bricks against).  Per output cell the kernel reads the centre and six
+face neighbours of the input field and writes the output field.
+
+The trace is a sequence of ``(addresses, is_write)`` batches.  Input
+and output fields occupy disjoint address ranges (output offset by the
+field size), as two separate allocations would.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.memsim.layouts import Layout
+
+#: Read offsets of the 7-point star.
+STAR_OFFSETS = (
+    (0, 0, 0),
+    (1, 0, 0),
+    (-1, 0, 0),
+    (0, 1, 0),
+    (0, -1, 0),
+    (0, 0, 1),
+    (0, 0, -1),
+)
+
+
+def _tile_cells(n: int, tile: int) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Yield the cell coordinates of each tile, tile-by-tile in
+    lexicographic tile order, cells in C order within a tile."""
+    if n % tile:
+        raise ValueError(f"tile {tile} must divide domain size {n}")
+    base = np.arange(tile)
+    ci, cj, ck = np.meshgrid(base, base, base, indexing="ij")
+    ci, cj, ck = ci.ravel(), cj.ravel(), ck.ravel()
+    for ti in range(0, n, tile):
+        for tj in range(0, n, tile):
+            for tk in range(0, n, tile):
+                yield ci + ti, cj + tj, ck + tk
+
+
+def stencil_sweep_trace(
+    layout: Layout, tile: int
+) -> Iterator[tuple[np.ndarray, bool]]:
+    """The access batches of one 7-point sweep with ``tile``-blocked order.
+
+    For each tile: seven read batches (one per stencil offset, periodic
+    wrap at domain edges) against the input field, then one write batch
+    against the output field.  Batch granularity does not change the
+    cache result (the simulator processes addresses one at a time) —
+    it only keeps the Python driver fast.
+    """
+    out_base = layout.total_bytes
+    for i, j, k in _tile_cells(layout.n, tile):
+        for di, dj, dk in STAR_OFFSETS:
+            yield layout.address_wrapped(i + di, j + dj, k + dk), False
+        yield layout.address(i, j, k) + out_base, True

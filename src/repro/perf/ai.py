@@ -1,0 +1,39 @@
+"""Arithmetic-intensity bookkeeping (Tables IV and V inputs).
+
+Theoretical AI comes straight out of the DSL analysis
+(:mod:`repro.dsl.library`).  *Achieved* AI on a given machine is the
+theoretical value scaled by that machine's per-operation AI fraction
+(Table V calibration — how much extra data the real cache hierarchy
+moves beyond compulsory traffic).
+"""
+
+from __future__ import annotations
+
+from repro.dsl.library import OPERATOR_INFO, VCYCLE_OPERATIONS
+from repro.machines.specs import MachineSpec
+
+
+def achieved_ai(machine: MachineSpec, op: str) -> float:
+    """FLOP:byte the operation actually achieves on ``machine``."""
+    info = OPERATOR_INFO[op]
+    frac = machine.gpu.op_ai_fraction.get(op)
+    if frac is None:
+        raise KeyError(f"no AI fraction for {op!r} on {machine.name}")
+    return info.arithmetic_intensity * frac
+
+
+def achieved_bytes_per_point(machine: MachineSpec, op: str) -> float:
+    """Actual DRAM bytes moved per point (>= compulsory)."""
+    info = OPERATOR_INFO[op]
+    frac = machine.gpu.op_ai_fraction[op]
+    return info.bytes_per_point / frac
+
+
+def ai_comparison_rows() -> list[tuple[str, float, float, float]]:
+    """Table IV rows: ``(op, ours, paper, abs difference)``."""
+    rows = []
+    for op in VCYCLE_OPERATIONS:
+        info = OPERATOR_INFO[op]
+        ours = info.arithmetic_intensity
+        rows.append((op, ours, info.paper_ai, abs(ours - info.paper_ai)))
+    return rows

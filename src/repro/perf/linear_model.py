@@ -1,0 +1,91 @@
+"""The paper's linear latency/bandwidth model and its fit.
+
+Section VI-A: ``f(x) = x / (alpha + x/beta)`` where ``x`` is problem
+size (points, or bytes for communication), ``f`` is throughput
+(GStencil/s or GB/s), ``alpha`` is latency and ``beta`` the attainable
+asymptotic rate.  Equivalently, *time* per invocation is affine in
+size: ``t(x) = alpha + x/beta`` — so the fit is ordinary least squares
+of ``t`` against ``x``, which is numerically far better behaved than
+fitting the saturating form directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def latency_bandwidth_model(
+    x: np.ndarray | float, alpha: float, beta: float
+) -> np.ndarray | float:
+    """Throughput ``f(x) = x / (alpha + x/beta)``.
+
+    ``alpha`` in seconds, ``beta`` in the same units as the returned
+    throughput (items/s), ``x`` in items.
+    """
+    if alpha < 0 or beta <= 0:
+        raise ValueError(f"need alpha >= 0 and beta > 0: alpha={alpha}, beta={beta}")
+    x = np.asarray(x, dtype=np.float64)
+    return x / (alpha + x / beta)
+
+
+@dataclass(frozen=True)
+class LatencyBandwidthFit:
+    """Result of fitting the linear model to a timing series."""
+
+    alpha: float  # latency (seconds)
+    beta: float  # asymptotic rate (items/s)
+    r_squared: float  # goodness of the t-vs-x linear fit
+
+    def time(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Predicted time per invocation."""
+        return self.alpha + np.asarray(x, dtype=np.float64) / self.beta
+
+    def throughput(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Predicted throughput ``f(x)``."""
+        return latency_bandwidth_model(x, self.alpha, self.beta)
+
+    def half_rate_size(self) -> float:
+        """Size at which throughput reaches half of ``beta`` (n_1/2)."""
+        return self.alpha * self.beta
+
+
+def fit_from_times(x: np.ndarray, t: np.ndarray) -> LatencyBandwidthFit:
+    """Least-squares fit of ``t = alpha + x/beta``.
+
+    Requires at least two distinct sizes.  ``alpha`` is clamped at zero
+    (a negative intercept would be unphysical measurement noise).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    t = np.asarray(t, dtype=np.float64)
+    if x.shape != t.shape or x.ndim != 1:
+        raise ValueError("x and t must be 1-D arrays of equal length")
+    if len(np.unique(x)) < 2:
+        raise ValueError("need at least two distinct sizes to fit")
+    if np.any(t <= 0) or np.any(x <= 0):
+        raise ValueError("sizes and times must be positive")
+    A = np.stack([np.ones_like(x), x], axis=1)
+    (alpha, slope), *_ = np.linalg.lstsq(A, t, rcond=None)
+    if slope <= 0:
+        # Degenerate (latency-dominated) series: fall back to a pure
+        # latency model with beta at the observed maximum rate.
+        alpha = float(np.mean(t))
+        beta = float(np.max(x / t))
+    else:
+        alpha = float(max(alpha, 0.0))
+        beta = float(1.0 / slope)
+    pred = alpha + x / beta
+    ss_res = float(np.sum((t - pred) ** 2))
+    ss_tot = float(np.sum((t - np.mean(t)) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LatencyBandwidthFit(alpha=alpha, beta=beta, r_squared=r2)
+
+
+def fit_latency_bandwidth(x: np.ndarray, f: np.ndarray) -> LatencyBandwidthFit:
+    """Fit from a throughput series ``f(x)`` (Figs. 5/6 form)."""
+    x = np.asarray(x, dtype=np.float64)
+    f = np.asarray(f, dtype=np.float64)
+    if np.any(f <= 0):
+        raise ValueError("throughputs must be positive")
+    return fit_from_times(x, x / f)

@@ -1,0 +1,63 @@
+"""Performance portability metric (Pennycook, Sewall & Lee [9]).
+
+For an application ``a`` solving problem ``p`` on a platform set ``H``::
+
+    Phi(a, p, H) = |H| / sum_i 1/e_i(a, p)    if supported on all of H
+                 = 0                           otherwise
+
+i.e. the harmonic mean of the per-platform efficiencies ``e_i``.  The
+paper computes Phi twice per operation: with ``e_i`` the fraction of
+the empirical Roofline (Table III) and with ``e_i`` the fraction of
+theoretical arithmetic intensity (Table V), then reports the harmonic
+mean over operations as the headline 73% / 92% numbers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean; 0 if the collection is empty or any value is 0."""
+    vals = list(values)
+    if not vals:
+        return 0.0
+    for v in vals:
+        if v < 0:
+            raise ValueError(f"efficiencies must be non-negative: {v}")
+        if v == 0:
+            return 0.0
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def performance_portability(
+    efficiencies: Mapping[str, float | None],
+) -> float:
+    """Phi over a platform->efficiency mapping.
+
+    A ``None`` (or missing/zero) efficiency means the application is
+    unsupported on that platform, making Phi zero by definition.
+    """
+    vals = []
+    for platform, e in efficiencies.items():
+        if e is None:
+            return 0.0
+        if not 0.0 <= e <= 1.0:
+            raise ValueError(f"efficiency out of [0, 1] for {platform}: {e}")
+        vals.append(e)
+    return harmonic_mean(vals)
+
+
+def efficiency_table_phi(
+    table: Mapping[str, Mapping[str, float]],
+) -> tuple[dict[str, float], float]:
+    """Per-operation Phi and the overall metric for a Tables-III/V layout.
+
+    ``table[op][platform] = e`` -> returns ``({op: Phi_op}, Phi_all)``
+    where ``Phi_all`` is the harmonic mean of the per-operation values,
+    matching how the paper aggregates its final 73%/92% figures.
+    """
+    per_op = {
+        op: performance_portability(platforms) for op, platforms in table.items()
+    }
+    return per_op, harmonic_mean(per_op.values())

@@ -1,0 +1,57 @@
+"""Potential-speedup analysis (Figure 7).
+
+The paper plots each (operation, machine) pair at coordinates
+``(fraction of theoretical AI, fraction of Roofline)`` and draws
+iso-curves of constant potential speedup::
+
+    Speedup = (100% / %Roofline) * (100% / %TheoreticalAI)
+
+— any mix of better code generation (y) and better data locality (x)
+moves a point toward (1, 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsl.library import VCYCLE_OPERATIONS
+from repro.machines.specs import MachineSpec
+
+
+def potential_speedup(roofline_fraction: float, ai_fraction: float) -> float:
+    """Headroom multiplier from both efficiency axes."""
+    if not 0.0 < roofline_fraction <= 1.0:
+        raise ValueError(f"roofline fraction must be in (0, 1]: {roofline_fraction}")
+    if not 0.0 < ai_fraction <= 1.0:
+        raise ValueError(f"AI fraction must be in (0, 1]: {ai_fraction}")
+    return (1.0 / roofline_fraction) * (1.0 / ai_fraction)
+
+
+def iso_speedup_curve(
+    speedup: float, n: int = 64, x_min: float = 0.2
+) -> tuple[np.ndarray, np.ndarray]:
+    """Points ``(x, y)`` with ``1/(x*y) = speedup`` for plotting.
+
+    Only the portion with both coordinates in (0, 1] is returned.
+    """
+    if speedup < 1.0:
+        raise ValueError(f"speedup must be >= 1: {speedup}")
+    x = np.linspace(max(x_min, 1.0 / speedup), 1.0, n)
+    y = 1.0 / (speedup * x)
+    keep = y <= 1.0
+    return x[keep], y[keep]
+
+
+def machine_speedup_points(
+    machine: MachineSpec,
+) -> dict[str, tuple[float, float, float]]:
+    """Figure 7's scatter for one machine.
+
+    Returns ``{op: (ai_fraction, roofline_fraction, speedup)}``.
+    """
+    out = {}
+    for op in VCYCLE_OPERATIONS:
+        fr = machine.gpu.op_roofline_fraction[op]
+        fa = machine.gpu.op_ai_fraction[op]
+        out[op] = (fa, fr, potential_speedup(fr, fa))
+    return out

@@ -1,0 +1,47 @@
+"""Cross-rank timing statistics in the paper's output format.
+
+The artifact description shows per-operation, per-level timings as::
+
+    level 0 applyOp [0.265012, 0.265184, 0.265346] (sigma: 9.20184e-05)
+
+i.e. ``[min, avg, max]`` over ranks plus the standard deviation.  The
+harness produces the same rows from per-rank simulated times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+
+@dataclass(frozen=True)
+class TimingStat:
+    """``[min, avg, max]`` and sigma over per-rank samples."""
+
+    min: float
+    avg: float
+    max: float
+    stdev: float
+    count: int
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "TimingStat":
+        vals = [float(v) for v in samples]
+        if not vals:
+            raise ValueError("need at least one sample")
+        n = len(vals)
+        avg = sum(vals) / n
+        var = sum((v - avg) ** 2 for v in vals) / n
+        return cls(min=min(vals), avg=avg, max=max(vals), stdev=math.sqrt(var), count=n)
+
+    def format(self) -> str:
+        return (
+            f"[{self.min:.6g}, {self.avg:.6g}, {self.max:.6g}] "
+            f"(σ: {self.stdev:.6g})"
+        )
+
+
+def format_level_timing(level: int, op: str, stat: TimingStat) -> str:
+    """One output row in the artifact's format."""
+    return f"level {level} {op} {stat.format()}"

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bricks import BrickGrid, BrickedArray
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20240513)
+
+
+@pytest.fixture(params=["lexicographic", "surface-major"])
+def ordering(request) -> str:
+    return request.param
+
+
+@pytest.fixture
+def small_grid(ordering) -> BrickGrid:
+    """A 4x3x2-brick grid of 4^3 bricks with one ghost brick."""
+    return BrickGrid((4, 3, 2), 4, ghost_bricks=1, ordering=ordering)
+
+
+@pytest.fixture
+def random_field(small_grid, rng) -> tuple[BrickedArray, np.ndarray]:
+    dense = rng.random(small_grid.shape_cells)
+    return BrickedArray.from_ijk(small_grid, dense), dense
+
+
+def reference_apply_op(x: np.ndarray, alpha: float, beta: float) -> np.ndarray:
+    """7-point periodic operator on a dense array (test oracle)."""
+    return alpha * x + beta * (
+        np.roll(x, -1, 0)
+        + np.roll(x, 1, 0)
+        + np.roll(x, -1, 1)
+        + np.roll(x, 1, 1)
+        + np.roll(x, -1, 2)
+        + np.roll(x, 1, 2)
+    )

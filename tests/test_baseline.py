@@ -1,0 +1,75 @@
+"""HPGMG-style baseline: numerically identical, different schedule."""
+
+import numpy as np
+import pytest
+
+from repro.gmg import ArrayGMG, GMGSolver, SolverConfig
+
+
+class TestBaselineNumerics:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        brick = GMGSolver(
+            SolverConfig(global_cells=16, num_levels=2, brick_dim=4,
+                         max_smooths=6, bottom_smooths=20)
+        )
+        brick_res = brick.solve()
+        base = ArrayGMG(global_cells=16, num_levels=2, max_smooths=6,
+                        bottom_smooths=20)
+        base_hist = base.solve()
+        return brick, brick_res, base, base_hist
+
+    def test_residual_histories_identical(self, pair):
+        _, brick_res, _, base_hist = pair
+        assert brick_res.residual_history == base_hist
+
+    def test_solutions_identical(self, pair):
+        brick, _, base, _ = pair
+        np.testing.assert_array_equal(brick.solution(), base.levels[0].x)
+
+    def test_baseline_converges(self, pair):
+        _, _, _, base_hist = pair
+        assert base_hist[-1] <= 1e-10
+
+
+class TestBaselineSchedule:
+    def test_exchanges_every_smooth(self):
+        base = ArrayGMG(global_cells=16, num_levels=2, max_smooths=6,
+                        bottom_smooths=10, max_vcycles=1, tol=0.0)
+        base.solve()
+        # per cycle: level 0 has 2 visits x 6 smooths = 12 exchanges;
+        # plus 2 convergence checks (initial + after the cycle)
+        assert base.recorder.exchange_counts()[0] == 12 + 2
+        assert base.recorder.exchange_counts()[1] == 10
+
+    def test_messages_are_ghost_width_one(self):
+        base = ArrayGMG(global_cells=16, num_levels=2)
+        base._record_exchange(0)
+        face = [m for m in base.recorder.messages if m.direction_kind == "face"]
+        assert face[0].nbytes == 16 * 16 * 8
+
+    def test_packing_segments_recorded(self):
+        """Conventional layout sends strided regions: many segments."""
+        base = ArrayGMG(global_cells=16, num_levels=2)
+        base._record_exchange(0)
+        x_face = base.recorder.messages[
+            [m.direction_kind for m in base.recorder.messages].index("face")
+        ]
+        assert x_face.segments > 1
+
+    def test_levels_must_divide(self):
+        with pytest.raises(ValueError):
+            ArrayGMG(global_cells=12, num_levels=4)
+
+    def test_more_exchanges_than_brick_solver(self):
+        brick = GMGSolver(
+            SolverConfig(global_cells=16, num_levels=2, brick_dim=4,
+                         max_smooths=6, bottom_smooths=20)
+        )
+        brick.solve()
+        base = ArrayGMG(global_cells=16, num_levels=2, max_smooths=6,
+                        bottom_smooths=20)
+        base.solve()
+        assert sum(base.recorder.exchange_counts().values()) > sum(
+            brick.recorder.exchange_counts().values()
+        )

@@ -1,0 +1,90 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSolveCommand:
+    def test_basic_solve(self, capsys):
+        rc = main(["solve", "-s", "16", "-l", "2", "--smooths", "6",
+                   "--bottom", "20"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "converged=True" in out
+        assert "maxNormRes" in out
+
+    def test_verify_flag(self, capsys):
+        rc = main(["solve", "-s", "16", "-l", "2", "--smooths", "6",
+                   "--bottom", "20", "--verify"])
+        assert rc == 0
+        assert "closed-form" in capsys.readouterr().out
+
+    def test_distributed(self, capsys):
+        rc = main(["solve", "-s", "16", "-l", "2", "--smooths", "6",
+                   "--bottom", "20", "--ranks", "2,1,1"])
+        assert rc == 0
+        assert "2 rank(s)" in capsys.readouterr().out
+
+    def test_alternative_components(self, capsys):
+        rc = main(["solve", "-s", "16", "-l", "2", "--smooths", "6",
+                   "--bottom", "20", "--smoother", "gsrb",
+                   "--bottom-solver", "fft", "--cycle", "W"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "smoother=gsrb" in out and "bottom=fft" in out
+
+    def test_nonconvergence_exit_code(self, capsys):
+        rc = main(["solve", "-s", "16", "-l", "2", "--smooths", "6",
+                   "--bottom", "20", "-n", "1"])
+        assert rc == 1
+
+    def test_no_ca_flag(self, capsys):
+        rc = main(["solve", "-s", "16", "-l", "2", "--smooths", "6",
+                   "--bottom", "20", "--no-ca"])
+        assert rc == 0
+
+
+class TestExperimentCommand:
+    @pytest.mark.parametrize(
+        "which,needle",
+        [
+            ("fig4", "HPGMG"),
+            ("table2", "smooth+residual"),
+            ("table3", "overall Phi = 73%"),
+            ("table4", "applyOp"),
+            ("table5", "overall Phi = 92%"),
+            ("fig7", "potential="),
+        ],
+    )
+    def test_experiment_output(self, capsys, which, needle):
+        assert main(["experiment", which]) == 0
+        assert needle in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig42"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestAutotuneCommand:
+    def test_single_machine(self, capsys):
+        assert main(["autotune", "Sunspot"]) == 0
+        out = capsys.readouterr().out
+        assert "auto-tuning on Sunspot" in out
+        assert "(worst)" in out
+
+    def test_json_export(self, capsys, tmp_path):
+        assert main(["experiment", "table4", "--json", str(tmp_path)]) == 0
+        assert (tmp_path / "fig8.json").exists()
+
+
+class TestValidateCommand:
+    def test_all_checks_pass(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "7/7 checks passed" in out
+        assert "FAIL" not in out

@@ -1,0 +1,168 @@
+"""DSL AST construction and structural identity."""
+
+import pytest
+
+from repro.dsl import (
+    Assignment,
+    BinOp,
+    Const,
+    ConstRef,
+    Grid,
+    GridRef,
+    Index,
+    Stencil,
+    indices,
+)
+
+
+class TestIndex:
+    def test_indices_helper(self):
+        i, j, k = indices()
+        assert (i.dim, j.dim, k.dim) == (0, 1, 2)
+        assert (i.offset, j.offset, k.offset) == (0, 0, 0)
+
+    def test_shift_arithmetic(self):
+        i, _, _ = indices()
+        assert (i + 1).offset == 1
+        assert (i - 2).offset == -2
+        assert ((i + 1) + 1).offset == 2
+
+    def test_shift_does_not_mutate(self):
+        i, _, _ = indices()
+        _ = i + 5
+        assert i.offset == 0
+
+    def test_bad_dimension(self):
+        with pytest.raises(ValueError):
+            Index(3)
+
+    def test_repr(self):
+        i, j, k = indices()
+        assert repr(i + 1) == "i+1"
+        assert repr(k) == "k"
+
+
+class TestGrid:
+    def test_call_produces_ref(self):
+        i, j, k = indices()
+        x = Grid("x")
+        ref = x(i + 1, j, k - 2)
+        assert isinstance(ref, GridRef)
+        assert ref.grid == "x"
+        assert ref.offsets == (1, 0, -2)
+
+    def test_wrong_index_order_rejected(self):
+        i, j, k = indices()
+        x = Grid("x")
+        with pytest.raises(ValueError):
+            x(j, i, k)
+
+    def test_non_identifier_name_rejected(self):
+        with pytest.raises(ValueError):
+            Grid("not a name")
+
+    def test_only_3d(self):
+        with pytest.raises(ValueError):
+            Grid("x", rank=2)
+
+
+class TestExpressions:
+    def test_binop_tree(self):
+        i, j, k = indices()
+        x = Grid("x")
+        e = 2.0 * x(i, j, k) + x(i + 1, j, k)
+        assert isinstance(e, BinOp)
+        assert e.op == "+"
+
+    def test_numeric_wrapping(self):
+        i, j, k = indices()
+        x = Grid("x")
+        e = x(i, j, k) + 1
+        assert isinstance(e.rhs, Const)
+        assert e.rhs.value == 1.0
+
+    def test_all_operators(self):
+        i, j, k = indices()
+        x = Grid("x")
+        r = x(i, j, k)
+        for e, op in [(r + r, "+"), (r - r, "-"), (r * r, "*"), (r / r, "/")]:
+            assert e.op == op
+
+    def test_reflected_operators(self):
+        i, j, k = indices()
+        r = Grid("x")(i, j, k)
+        assert (1 + r).op == "+"
+        assert (1 - r).op == "-"
+        assert (2 / r).op == "/"
+
+    def test_negation(self):
+        i, j, k = indices()
+        r = Grid("x")(i, j, k)
+        e = -r
+        assert e.op == "*"
+        assert e.lhs.value == -1.0
+
+    def test_rejects_foreign_types(self):
+        i, j, k = indices()
+        r = Grid("x")(i, j, k)
+        with pytest.raises(TypeError):
+            r + "beta"  # type: ignore[operator]
+
+    def test_structural_keys_equal_for_equal_exprs(self):
+        i, j, k = indices()
+        x = Grid("x")
+        a = x(i + 1, j, k) * ConstRef("c")
+        b = x(i + 1, j, k) * ConstRef("c")
+        assert a.key() == b.key()
+
+    def test_structural_keys_differ(self):
+        i, j, k = indices()
+        x = Grid("x")
+        assert x(i + 1, j, k).key() != x(i - 1, j, k).key()
+
+
+class TestConstRef:
+    def test_identifier_required(self):
+        with pytest.raises(ValueError):
+            ConstRef("2bad")
+
+    def test_key(self):
+        assert ConstRef("alpha").key() == ("constref", "alpha")
+
+
+class TestAssignmentAndStencil:
+    def test_assign_requires_unshifted_target(self):
+        i, j, k = indices()
+        out = Grid("out")
+        with pytest.raises(ValueError):
+            out(i + 1, j, k).assign(1.0)
+
+    def test_assign_wraps_numbers(self):
+        i, j, k = indices()
+        a = Grid("out")(i, j, k).assign(2)
+        assert isinstance(a, Assignment)
+        assert isinstance(a.expr, Const)
+
+    def test_stencil_requires_assignments(self):
+        with pytest.raises(ValueError):
+            Stencil("empty", [])
+
+    def test_stencil_rejects_duplicate_outputs(self):
+        i, j, k = indices()
+        out = Grid("out")
+        with pytest.raises(ValueError):
+            Stencil("dup", [out(i, j, k).assign(1.0), out(i, j, k).assign(2.0)])
+
+    def test_output_grids(self):
+        i, j, k = indices()
+        a, b = Grid("a"), Grid("b")
+        s = Stencil("two", [a(i, j, k).assign(1.0), b(i, j, k).assign(2.0)])
+        assert s.output_grids == ("a", "b")
+
+    def test_stencil_key_is_structural(self):
+        def build():
+            i, j, k = indices()
+            x, y = Grid("x"), Grid("y")
+            return Stencil("s", [y(i, j, k).assign(x(i + 1, j, k) * 2.0)])
+
+        assert build().key() == build().key()

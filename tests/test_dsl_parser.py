@@ -1,0 +1,106 @@
+"""The textual DSL parser: the paper's Figure 1, verbatim."""
+
+import numpy as np
+import pytest
+
+from repro.bricks import BrickGrid, BrickedArray
+from repro.dsl import APPLY_OP, analyze, compile_stencil
+from repro.dsl.parser import PAPER_FIGURE_1, DslSyntaxError, parse_dsl
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def stencil(self):
+        return parse_dsl(PAPER_FIGURE_1, name="applyOp-from-text")
+
+    def test_parses(self, stencil):
+        assert len(stencil.assignments) == 1
+
+    def test_same_analysis_as_library_stencil(self, stencil):
+        parsed = analyze(stencil)
+        library = analyze(APPLY_OP)
+        assert parsed.radius == library.radius == 1
+        assert parsed.bytes_per_point == library.bytes_per_point == 16
+        assert parsed.offsets == library.offsets
+
+    def test_executes_correctly(self, stencil, rng):
+        grid = BrickGrid((2, 2, 2), 4)
+        dense = rng.random((8, 8, 8))
+        x = BrickedArray.from_ijk(grid, dense)
+        x.fill_ghost_periodic()
+        out = BrickedArray.zeros(grid)
+        compile_stencil(stencil, 4).apply(
+            {"x": x, "Ax": out}, {"alpha": -6.0, "beta": 1.0}
+        )
+        oracle = -6.0 * dense + sum(
+            np.roll(dense, s, a) for a in range(3) for s in (1, -1)
+        )
+        np.testing.assert_allclose(out.to_ijk(), oracle, rtol=1e-12)
+
+    def test_flop_count_differs_only_by_association(self, stencil):
+        # the figure writes beta * each neighbour (7 multiplies + 6
+        # adds = 13 flops); the library's factored form gives 8
+        assert analyze(stencil).flops_per_point == 13
+
+
+class TestMultiStatement:
+    def test_fused_kernel(self):
+        src = """
+i = Index(0)
+j = Index(1)
+k = Index(2)
+x = Grid("x", 3)
+Ax = Grid("Ax", 3)
+b = Grid("b", 3)
+r = Grid("r", 3)
+gamma = ConstRef("gamma")
+x(i, j, k).assign(x(i, j, k) + gamma * Ax(i, j, k) - gamma * b(i, j, k))
+r(i, j, k).assign(b(i, j, k) - Ax(i, j, k))
+"""
+        stencil = parse_dsl(src, name="fused")
+        assert stencil.output_grids == ("x", "r")
+        assert analyze(stencil).bytes_per_point == 40
+
+
+class TestRejection:
+    def test_imports_rejected(self):
+        with pytest.raises(DslSyntaxError, match="Import"):
+            parse_dsl("import os")
+
+    def test_loops_rejected(self):
+        with pytest.raises(DslSyntaxError, match="For"):
+            parse_dsl("for q in range(3):\n    pass")
+
+    def test_function_defs_rejected(self):
+        with pytest.raises(DslSyntaxError, match="FunctionDef"):
+            parse_dsl("def f():\n    return 1")
+
+    def test_foreign_attributes_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse_dsl("x = Grid('x', 3)\nx.name.upper()")
+        with pytest.raises(DslSyntaxError, match="only the .assign"):
+            parse_dsl("x = Grid('x', 3)\ny = x.name")
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(DslSyntaxError, match="failed to evaluate"):
+            parse_dsl("i = Index(0)\nprint(i)")
+
+    def test_no_assign_rejected(self):
+        with pytest.raises(DslSyntaxError, match="never called"):
+            parse_dsl("i = Index(0)")
+
+    def test_syntax_errors_reported(self):
+        with pytest.raises(DslSyntaxError, match="not valid DSL"):
+            parse_dsl("i = = Index(0)")
+
+    def test_power_operator_rejected(self):
+        with pytest.raises(DslSyntaxError, match="operator"):
+            parse_dsl(
+                "i = Index(0)\nj = Index(1)\nk = Index(2)\n"
+                "x = Grid('x', 3)\ny = Grid('y', 3)\n"
+                "y(i, j, k).assign(x(i, j, k) ** 2)"
+            )
+
+    def test_builtins_unreachable(self):
+        with pytest.raises(DslSyntaxError):
+            parse_dsl("q = open('/etc/passwd')\nq2 = Index(0)")

@@ -1,0 +1,150 @@
+"""Ghost-brick exchange: distributed halos must match the periodic oracle."""
+
+import numpy as np
+import pytest
+
+from repro.bricks import BrickGrid, BrickedArray
+from repro.comm import CartTopology, HaloExchange, LocalPeriodicExchange, SimComm
+from repro.gmg.problem import rhs_field
+from repro.instrument import Recorder
+
+
+def make_rank_fields(topology, grid, global_dense):
+    """Split a global dense array into per-rank bricked fields."""
+    cells = grid.shape_cells
+    fields = []
+    for rank in range(topology.size):
+        o = topology.subdomain_origin(rank, cells)
+        sub = global_dense[
+            o[0] : o[0] + cells[0], o[1] : o[1] + cells[1], o[2] : o[2] + cells[2]
+        ]
+        fields.append(BrickedArray.from_ijk(grid, sub))
+    return fields
+
+
+def check_ghosts_against_global(topology, grid, fields, global_dense):
+    """Every ghost brick must hold the right global (periodic) data."""
+    cells = grid.shape_cells
+    B = grid.brick_dim
+    N = global_dense.shape
+    for rank, field in enumerate(fields):
+        o = topology.subdomain_origin(rank, cells)
+        for slot in grid.ghost_slots[::5]:  # sample for speed
+            lg = grid.slot_to_grid[slot] - grid.ghost_bricks
+            idx = [
+                np.mod(np.arange(o[d] + lg[d] * B, o[d] + (lg[d] + 1) * B), N[d])
+                for d in range(3)
+            ]
+            expected = global_dense[np.ix_(*idx)]
+            assert np.array_equal(field.data[slot], expected), (rank, tuple(lg))
+
+
+class TestLocalPeriodicExchange:
+    def test_fills_ghosts(self, rng):
+        grid = BrickGrid((2, 2, 2), 4)
+        dense = rng.random((8, 8, 8))
+        field = BrickedArray.from_ijk(grid, dense)
+        topo = CartTopology((1, 1, 1))
+        LocalPeriodicExchange(grid).exchange(0, [[field]])
+        check_ghosts_against_global(topo, grid, [field], dense)
+
+    def test_records_events(self, rng):
+        grid = BrickGrid((2, 2, 2), 4)
+        rec = Recorder()
+        field = BrickedArray.from_ijk(grid, rng.random((8, 8, 8)))
+        LocalPeriodicExchange(grid, rec).exchange(3, [[field]])
+        assert rec.exchange_counts() == {3: 1}
+        assert rec.message_counts_by_level() == {3: 26}
+        assert all(ev.self_message for ev in rec.messages)
+
+    def test_rejects_multiple_ranks(self, rng):
+        grid = BrickGrid((2, 2, 2), 4)
+        f = BrickedArray.from_ijk(grid, rng.random((8, 8, 8)))
+        with pytest.raises(ValueError):
+            LocalPeriodicExchange(grid).exchange(0, [[f], [f]])
+
+    def test_rejects_foreign_grid(self, rng):
+        grid = BrickGrid((2, 2, 2), 4)
+        other = BrickGrid((2, 2, 2), 4)
+        f = BrickedArray.zeros(other)
+        with pytest.raises(ValueError):
+            LocalPeriodicExchange(grid).exchange(0, [[f]])
+
+
+class TestHaloExchange:
+    @pytest.mark.parametrize("dims", [(2, 1, 1), (2, 2, 1), (2, 2, 2), (1, 3, 1)])
+    def test_distributed_ghosts_match_global(self, rng, dims, ordering):
+        grid = BrickGrid((2, 2, 2), 4, ordering=ordering)
+        topo = CartTopology(dims)
+        N = tuple(8 * d for d in dims)
+        global_dense = rng.random(N)
+        fields = make_rank_fields(topo, grid, global_dense)
+        comm = SimComm(topo.size)
+        HaloExchange(grid, topo, comm).exchange(0, [[f] for f in fields])
+        check_ghosts_against_global(topo, grid, fields, global_dense)
+        comm.assert_drained()
+
+    def test_single_rank_equals_periodic_wrap(self, rng):
+        grid = BrickGrid((2, 2, 2), 4)
+        dense = rng.random((8, 8, 8))
+        via_wrap = BrickedArray.from_ijk(grid, dense)
+        via_wrap.fill_ghost_periodic()
+        via_comm = BrickedArray.from_ijk(grid, dense)
+        topo = CartTopology((1, 1, 1))
+        HaloExchange(grid, topo, SimComm(1)).exchange(0, [[via_comm]])
+        assert np.array_equal(via_comm.data, via_wrap.data)
+
+    def test_aggregated_fields_share_messages(self, rng):
+        grid = BrickGrid((2, 2, 2), 4)
+        topo = CartTopology((2, 1, 1))
+        comm = SimComm(2)
+        rec = Recorder()
+        ex = HaloExchange(grid, topo, comm, rec)
+        dense = rng.random((16, 8, 8))
+        xs = make_rank_fields(topo, grid, dense)
+        bs = make_rank_fields(topo, grid, dense + 1.0)
+        ex.exchange(0, [[x, b] for x, b in zip(xs, bs)])
+        # 26 messages per rank regardless of field count (aggregation)
+        assert rec.message_counts_by_level() == {0: 52}
+        check_ghosts_against_global(topo, grid, xs, dense)
+        check_ghosts_against_global(topo, grid, bs, dense + 1.0)
+
+    def test_unpack_free_flag_tracks_ordering(self):
+        topo = CartTopology((2, 1, 1))
+        comm = SimComm(2)
+        sm = BrickGrid((4, 4, 4), 4, ordering="surface-major")
+        lex = BrickGrid((4, 4, 4), 4, ordering="lexicographic")
+        assert HaloExchange(sm, topo, comm).recv_is_unpack_free
+        assert not HaloExchange(lex, topo, comm).recv_is_unpack_free
+
+    def test_size_mismatch_rejected(self):
+        grid = BrickGrid((2, 2, 2), 4)
+        with pytest.raises(ValueError):
+            HaloExchange(grid, CartTopology((2, 1, 1)), SimComm(3))
+
+    def test_wrong_rank_count_rejected(self, rng):
+        grid = BrickGrid((2, 2, 2), 4)
+        topo = CartTopology((2, 1, 1))
+        ex = HaloExchange(grid, topo, SimComm(2))
+        f = BrickedArray.from_ijk(grid, rng.random((8, 8, 8)))
+        with pytest.raises(ValueError):
+            ex.exchange(0, [[f]])
+
+    def test_mismatched_field_counts_rejected(self, rng):
+        grid = BrickGrid((2, 2, 2), 4)
+        topo = CartTopology((2, 1, 1))
+        ex = HaloExchange(grid, topo, SimComm(2))
+        f = BrickedArray.from_ijk(grid, rng.random((8, 8, 8)))
+        g = BrickedArray.from_ijk(grid, rng.random((8, 8, 8)))
+        with pytest.raises(ValueError):
+            ex.exchange(0, [[f, g], [f]])
+
+    def test_exchange_with_rhs_field_data(self):
+        """Exchange the actual model-problem RHS across 8 ranks."""
+        grid = BrickGrid((2, 2, 2), 4)
+        topo = CartTopology((2, 2, 2))
+        dense = rhs_field((16, 16, 16), 1.0 / 16)
+        fields = make_rank_fields(topo, grid, dense)
+        comm = SimComm(8)
+        HaloExchange(grid, topo, comm).exchange(0, [[f] for f in fields])
+        check_ghosts_against_global(topo, grid, fields, dense)

@@ -1,0 +1,61 @@
+"""The instrumentation recorder itself."""
+
+from repro.instrument import KernelEvent, MessageEvent, Recorder
+
+
+class TestRecorder:
+    def test_kernel_aggregation(self):
+        rec = Recorder()
+        rec.kernel(0, "applyOp", 100)
+        rec.kernel(0, "applyOp", 100)
+        rec.kernel(1, "smooth", 50)
+        assert rec.kernel_counts() == {(0, "applyOp"): 2, (1, "smooth"): 1}
+        assert rec.kernel_points() == {(0, "applyOp"): 200, (1, "smooth"): 50}
+
+    def test_message_aggregation(self):
+        rec = Recorder()
+        rec.message(0, 1000, "face", segments=1)
+        rec.message(0, 24, "corner", segments=3, self_message=True)
+        rec.message(2, 500, "edge")
+        assert rec.message_bytes_by_level() == {0: 1024, 2: 500}
+        assert rec.message_counts_by_level() == {0: 2, 2: 1}
+
+    def test_events_are_frozen_records(self):
+        ev = KernelEvent(0, "applyOp", 10)
+        assert ev.level == 0 and ev.points == 10
+        msg = MessageEvent(1, 64, "face", 1, False)
+        assert msg.direction_kind == "face"
+
+    def test_exchange_and_reduction_counters(self):
+        rec = Recorder()
+        rec.exchange(0)
+        rec.exchange(0)
+        rec.exchange(3)
+        rec.reduction()
+        assert rec.exchange_counts() == {0: 2, 3: 1}
+        assert rec.reductions == 1
+
+    def test_total_stencil_points(self):
+        rec = Recorder()
+        rec.kernel(0, "applyOp", 10)
+        rec.kernel(1, "applyOp", 5)
+        rec.kernel(0, "smooth", 7)
+        assert rec.total_stencil_points() == 22
+        assert rec.total_stencil_points(ops=("applyOp",)) == 15
+
+    def test_clear_resets_everything(self):
+        rec = Recorder()
+        rec.kernel(0, "applyOp", 1)
+        rec.message(0, 8, "face")
+        rec.exchange(0)
+        rec.reduction()
+        rec.clear()
+        assert not rec.kernels and not rec.messages
+        assert rec.exchange_counts() == {}
+        assert rec.reductions == 0
+
+    def test_empty_aggregations(self):
+        rec = Recorder()
+        assert rec.kernel_counts() == {}
+        assert rec.message_bytes_by_level() == {}
+        assert rec.total_stencil_points() == 0

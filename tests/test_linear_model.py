@@ -1,0 +1,113 @@
+"""The latency/bandwidth model f(x) = x/(alpha + x/beta) and its fit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf import (
+    LatencyBandwidthFit,
+    fit_from_times,
+    fit_latency_bandwidth,
+    latency_bandwidth_model,
+)
+
+
+class TestModel:
+    def test_saturates_at_beta(self):
+        f = latency_bandwidth_model(1e12, alpha=1e-6, beta=1e9)
+        assert f == pytest.approx(1e9, rel=1e-3)
+
+    def test_latency_bound_regime_is_linear(self):
+        """For x << alpha*beta, f(x) ~ x/alpha."""
+        f = latency_bandwidth_model(10.0, alpha=1e-3, beta=1e9)
+        assert f == pytest.approx(10.0 / 1e-3, rel=1e-2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            latency_bandwidth_model(1.0, alpha=-1.0, beta=1.0)
+        with pytest.raises(ValueError):
+            latency_bandwidth_model(1.0, alpha=1.0, beta=0.0)
+
+    def test_vectorized(self):
+        x = np.array([1e3, 1e6, 1e9])
+        f = latency_bandwidth_model(x, 1e-6, 1e9)
+        assert f.shape == (3,)
+        assert np.all(np.diff(f) > 0)
+
+
+class TestFit:
+    def test_exact_recovery(self):
+        x = np.array([1e3, 1e4, 1e5, 1e6, 1e7])
+        t = 5e-6 + x / 80e9
+        fit = fit_from_times(x, t)
+        assert fit.alpha == pytest.approx(5e-6, rel=1e-9)
+        assert fit.beta == pytest.approx(80e9, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_fit_from_throughput_form(self):
+        x = np.array([1e3, 1e4, 1e5, 1e6])
+        f = latency_bandwidth_model(x, 2e-5, 10e9)
+        fit = fit_latency_bandwidth(x, f)
+        assert fit.alpha == pytest.approx(2e-5, rel=1e-9)
+        assert fit.beta == pytest.approx(10e9, rel=1e-9)
+
+    def test_noise_robustness(self):
+        rng = np.random.default_rng(7)
+        x = np.logspace(3, 8, 24)
+        t = (1e-5 + x / 50e9) * rng.normal(1.0, 0.02, x.size)
+        fit = fit_from_times(x, t)
+        assert fit.alpha == pytest.approx(1e-5, rel=0.3)
+        assert fit.beta == pytest.approx(50e9, rel=0.1)
+        assert fit.r_squared > 0.99
+
+    def test_predictions(self):
+        fit = LatencyBandwidthFit(alpha=1e-5, beta=1e9, r_squared=1.0)
+        assert fit.time(1e6) == pytest.approx(1e-5 + 1e-3)
+        assert fit.throughput(1e9) == pytest.approx(
+            latency_bandwidth_model(1e9, 1e-5, 1e9)
+        )
+
+    def test_half_rate_size(self):
+        """n_1/2: throughput reaches beta/2 at x = alpha*beta."""
+        fit = LatencyBandwidthFit(alpha=1e-5, beta=1e9, r_squared=1.0)
+        x_half = fit.half_rate_size()
+        assert fit.throughput(x_half) == pytest.approx(0.5e9)
+
+    def test_negative_intercept_clamped(self):
+        x = np.array([1e6, 2e6, 4e6])
+        t = x / 1e9  # alpha exactly zero
+        fit = fit_from_times(x, t - 1e-12)  # jitter below zero
+        assert fit.alpha >= 0.0
+
+    def test_degenerate_flat_series(self):
+        """Pure latency plateau (slope <= 0) falls back gracefully."""
+        x = np.array([1e3, 1e4, 1e5])
+        t = np.array([1e-5, 1e-5, 1e-5])
+        fit = fit_from_times(x, t)
+        assert fit.alpha == pytest.approx(1e-5)
+        assert fit.beta > 0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            fit_from_times(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            fit_from_times(np.array([1.0, 1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            fit_from_times(np.array([1.0, 2.0]), np.array([1.0, -2.0]))
+        with pytest.raises(ValueError):
+            fit_latency_bandwidth(np.array([1.0, 2.0]), np.array([0.0, 1.0]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    alpha=st.floats(1e-7, 1e-3),
+    beta=st.floats(1e6, 1e12),
+)
+def test_fit_recovers_any_parameters(alpha, beta):
+    """Property: noiseless data from the model is recovered exactly."""
+    x = np.logspace(2, 9, 12)
+    t = alpha + x / beta
+    fit = fit_from_times(x, t)
+    assert fit.alpha == pytest.approx(alpha, rel=1e-6, abs=1e-12)
+    assert fit.beta == pytest.approx(beta, rel=1e-6)

@@ -1,0 +1,175 @@
+"""Machine specs and the GPU kernel timing model."""
+
+import pytest
+
+from repro.dsl.library import VCYCLE_OPERATIONS
+from repro.machines import (
+    FRONTIER,
+    MACHINES,
+    PERLMUTTER,
+    SUNSPOT,
+    Roofline,
+    attainable_gstencil_rate,
+    kernel_time,
+    pack_time,
+    theoretical_gstencil_ceiling,
+)
+from repro.machines.gpu_model import bytes_per_point, gstencil_per_invocation
+from repro.machines.roofline import (
+    all_ops_memory_bound,
+    machine_roofline,
+    roofline_fraction,
+)
+
+
+class TestSpecs:
+    def test_three_machines(self):
+        assert set(MACHINES) == {"Perlmutter", "Frontier", "Sunspot"}
+
+    def test_paper_brick_dims(self):
+        assert PERLMUTTER.brick_dim == 8
+        assert FRONTIER.brick_dim == 8
+        assert SUNSPOT.brick_dim == 4
+
+    def test_gpu_aware_settings(self):
+        assert PERLMUTTER.gpu_aware_mpi
+        assert FRONTIER.gpu_aware_mpi
+        assert not SUNSPOT.gpu_aware_mpi  # host pointers on Sunspot
+
+    def test_nic_attachment(self):
+        assert FRONTIER.node.nic_attached_to_gpu
+        assert not PERLMUTTER.node.nic_attached_to_gpu
+
+    def test_ranks_per_node(self):
+        assert PERLMUTTER.node.ranks_per_node == 4
+        assert FRONTIER.node.ranks_per_node == 8
+        assert SUNSPOT.node.ranks_per_node == 12
+
+    def test_slingshot_line_rate_shared(self):
+        for m in MACHINES.values():
+            assert m.network.nic_peak_gbs == 25.0
+
+    def test_all_efficiencies_cover_the_five_ops(self):
+        for m in MACHINES.values():
+            assert set(m.gpu.op_roofline_fraction) == set(VCYCLE_OPERATIONS)
+            assert set(m.gpu.op_ai_fraction) == set(VCYCLE_OPERATIONS)
+
+    def test_efficiency_validation(self):
+        from repro.machines.specs import GPUSpec
+
+        with pytest.raises(ValueError, match="bad efficiency"):
+            GPUSpec(
+                name="bad",
+                programming_model="x",
+                peak_fp64_gflops=1.0,
+                hbm_peak_gbs=1.0,
+                hbm_measured_gbs=1.0,
+                kernel_launch_latency_s=1e-6,
+                simd_width=32,
+                op_roofline_fraction={"applyOp": 1.5},
+                op_ai_fraction={},
+            )
+
+    def test_launch_latencies_span_paper_range(self):
+        """Section VI-A: empirical latencies between 5 and 20 us."""
+        lats = sorted(
+            m.gpu.kernel_launch_latency_s for m in MACHINES.values()
+        )
+        assert lats[0] == pytest.approx(5e-6)
+        assert lats[-1] == pytest.approx(20e-6)
+        assert PERLMUTTER.gpu.kernel_launch_latency_s == lats[0]  # lowest: NVIDIA
+
+    def test_rank_labels(self):
+        assert PERLMUTTER.rank_label == "A100 GPU"
+        assert FRONTIER.rank_label == "MI250X GCD"
+        assert SUNSPOT.rank_label == "PVC tile"
+
+
+class TestGpuModel:
+    def test_perlmutter_apply_op_ceiling_matches_paper(self):
+        """Section VI-A quotes 88.75 GStencil/s for the A100."""
+        assert theoretical_gstencil_ceiling(PERLMUTTER, "applyOp") == pytest.approx(
+            88.75
+        )
+
+    def test_attained_below_ceiling(self):
+        for m in MACHINES.values():
+            for op in VCYCLE_OPERATIONS:
+                assert attainable_gstencil_rate(m, op) < theoretical_gstencil_ceiling(
+                    m, op
+                )
+
+    def test_nvidia_highest_throughput(self):
+        """Paper: NVIDIA GPUs provide the highest throughput per process."""
+        for op in ("applyOp", "smooth+residual"):
+            rate_p = attainable_gstencil_rate(PERLMUTTER, op)
+            assert rate_p > attainable_gstencil_rate(FRONTIER, op)
+            assert rate_p > attainable_gstencil_rate(SUNSPOT, op)
+
+    def test_kernel_time_affine_in_points(self):
+        t1 = kernel_time(PERLMUTTER, "applyOp", 10**6)
+        t2 = kernel_time(PERLMUTTER, "applyOp", 2 * 10**6)
+        launch = PERLMUTTER.gpu.kernel_launch_latency_s
+        assert t2 - t1 == pytest.approx(t1 - launch, rel=1e-9)
+
+    def test_zero_points_is_pure_launch(self):
+        assert kernel_time(SUNSPOT, "smooth", 0) == pytest.approx(20e-6)
+
+    def test_negative_points_rejected(self):
+        with pytest.raises(ValueError):
+            kernel_time(PERLMUTTER, "applyOp", -1)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(KeyError):
+            bytes_per_point("fft")
+
+    def test_extra_ops_have_traffic(self):
+        assert bytes_per_point("initZero") == 8
+        assert bytes_per_point("residual") == 24
+
+    def test_gstencil_per_invocation_saturates(self):
+        small = gstencil_per_invocation(PERLMUTTER, "applyOp", 16**3)
+        large = gstencil_per_invocation(PERLMUTTER, "applyOp", 512**3)
+        assert small < large
+        assert large == pytest.approx(
+            attainable_gstencil_rate(PERLMUTTER, "applyOp"), rel=1e-2
+        )
+
+    def test_pack_time(self):
+        assert pack_time(PERLMUTTER, 0) == 0.0
+        t = pack_time(PERLMUTTER, 10**6)
+        assert t > PERLMUTTER.gpu.kernel_launch_latency_s
+        with pytest.raises(ValueError):
+            pack_time(PERLMUTTER, -1)
+
+
+class TestRoofline:
+    def test_attainable(self):
+        roof = Roofline(peak_gflops=100.0, bandwidth_gbs=10.0)
+        assert roof.attainable_gflops(1.0) == 10.0
+        assert roof.attainable_gflops(100.0) == 100.0
+
+    def test_ridge_point(self):
+        roof = Roofline(100.0, 10.0)
+        assert roof.ridge_point() == 10.0
+        assert roof.is_memory_bound(0.5)
+        assert not roof.is_memory_bound(20.0)
+
+    def test_invalid_ai(self):
+        with pytest.raises(ValueError):
+            Roofline(100.0, 10.0).attainable_gflops(0.0)
+
+    def test_fraction(self):
+        roof = Roofline(100.0, 10.0)
+        assert roofline_fraction(5.0, 1.0, roof) == pytest.approx(0.5)
+
+    def test_machine_roofline_uses_measured_bw(self):
+        roof = machine_roofline(PERLMUTTER.gpu)
+        assert roof.bandwidth_gbs == 1420.0
+        peak = machine_roofline(PERLMUTTER.gpu, empirical=False)
+        assert peak.bandwidth_gbs == 1555.0
+
+    def test_every_vcycle_op_is_memory_bound_everywhere(self):
+        """The paper's premise for using bandwidth ceilings."""
+        for m in MACHINES.values():
+            assert all_ops_memory_bound(m)

@@ -1,0 +1,103 @@
+"""Local Fourier analysis: theory vs the measured solver."""
+
+import numpy as np
+import pytest
+
+from repro.gmg import GMGSolver, SolverConfig
+from repro.gmg.mode_analysis import (
+    is_high_frequency,
+    jacobi_symbol,
+    operator_symbol,
+    optimal_jacobi_weight,
+    predicted_residual_reduction,
+    predicted_vcycle_factor,
+    smoothing_factor,
+)
+
+
+class TestSymbols:
+    def test_zero_mode_is_fixed_point(self):
+        assert jacobi_symbol((0.0, 0.0, 0.0)) == pytest.approx(1.0)
+
+    def test_highest_mode_damped(self):
+        s = jacobi_symbol((np.pi, np.pi, np.pi), omega=0.5)
+        assert s == pytest.approx(0.0)  # omega=1/2 annihilates it
+
+    def test_operator_symbol_matches_eigenvalue(self):
+        from repro.gmg.problem import discrete_operator_eigenvalue
+
+        h = 1 / 32
+        theta = 2 * np.pi * h  # the model problem's mode
+        assert operator_symbol((theta, theta, theta), h) == pytest.approx(
+            discrete_operator_eigenvalue(h)
+        )
+
+    def test_symbol_range(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            theta = tuple(rng.uniform(-np.pi, np.pi, 3))
+            assert -1.0 <= jacobi_symbol(theta, 0.5) <= 1.0
+
+
+class TestSmoothingFactor:
+    def test_half_weight_value(self):
+        """For omega = 1/2 the HF supremum is at c -> 2/3:
+        mu = 1 - (1/2)(1 - 2/3) = 5/6."""
+        assert smoothing_factor(0.5, samples=64) == pytest.approx(5 / 6, abs=0.01)
+
+    def test_optimal_weight_beats_half(self):
+        omega_star = optimal_jacobi_weight()
+        assert omega_star == pytest.approx(6 / 7)
+        assert smoothing_factor(omega_star) < smoothing_factor(0.5)
+
+    def test_optimal_weight_value(self):
+        """mu(omega*) = 5/7 for the 3-D 7-point operator."""
+        assert smoothing_factor(optimal_jacobi_weight(), samples=64) == (
+            pytest.approx(5 / 7, abs=0.01)
+        )
+
+    def test_high_frequency_classification(self):
+        thetas = np.array([[0.1, 0.1, 0.1], [np.pi, 0.0, 0.0]])
+        hf = is_high_frequency(thetas)
+        assert not hf[0] and hf[1]
+
+    def test_reduction_validation(self):
+        with pytest.raises(ValueError):
+            predicted_residual_reduction(0)
+
+
+class TestPredictionsVsMeasurement:
+    def test_vcycle_factor_matches_solver(self):
+        """Measured convergence factor within 2x of the LFA envelope."""
+        cfg = SolverConfig(global_cells=32, num_levels=3, brick_dim=4,
+                           max_smooths=8, bottom_smooths=40)
+        measured = GMGSolver(cfg).solve().convergence_factor
+        predicted = predicted_vcycle_factor(nu_total=16)
+        assert predicted / 2 <= measured <= predicted * 2
+
+    def test_more_smooths_converge_faster_as_predicted(self):
+        factors = {}
+        for smooths in (4, 8):
+            cfg = SolverConfig(global_cells=32, num_levels=3, brick_dim=4,
+                               max_smooths=smooths, bottom_smooths=40)
+            factors[smooths] = GMGSolver(cfg).solve().convergence_factor
+        assert factors[8] < factors[4]
+        # prediction agrees on the ordering and rough ratio
+        p4 = predicted_vcycle_factor(8)
+        p8 = predicted_vcycle_factor(16)
+        assert p8 < p4
+        measured_ratio = factors[8] / factors[4]
+        predicted_ratio = p8 / p4
+        assert measured_ratio == pytest.approx(predicted_ratio, rel=1.0)
+
+    def test_tuned_omega_beats_paper_omega_in_practice(self):
+        """The LFA-optimal Jacobi weight should speed up the solver."""
+        base = dict(global_cells=32, num_levels=3, brick_dim=4,
+                    max_smooths=4, bottom_smooths=40)
+        paper = GMGSolver(SolverConfig(**base)).solve()
+        tuned = GMGSolver(SolverConfig(
+            **base,
+            smoother_options=(("omega", optimal_jacobi_weight()),),
+        )).solve()
+        assert tuned.convergence_factor < paper.convergence_factor
+        assert tuned.num_vcycles <= paper.num_vcycles

@@ -1,0 +1,114 @@
+"""Network timing model: staging, protocols, contention, collectives."""
+
+import pytest
+
+from repro.machines import FRONTIER, PERLMUTTER, SUNSPOT
+from repro.machines.network import (
+    allreduce_time,
+    effective_inter_node_bandwidth,
+    exchange_time,
+    message_overhead,
+    message_time,
+    nic_share,
+    scale_bandwidth_factor,
+    scale_latency_factor,
+)
+
+MB = 1 << 20
+
+
+class TestMessageTime:
+    def test_monotone_in_size(self):
+        for m in (PERLMUTTER, FRONTIER, SUNSPOT):
+            assert message_time(m, 2 * MB) > message_time(m, MB)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            message_time(PERLMUTTER, -1)
+
+    def test_frontier_fastest_large_messages(self):
+        """Paper Fig 6: Frontier has the highest sustained bandwidth."""
+        t = {m.name: message_time(m, 64 * MB, ranks_per_node=1)
+             for m in (PERLMUTTER, FRONTIER, SUNSPOT)}
+        assert t["Frontier"] < t["Perlmutter"] < t["Sunspot"]
+
+    def test_frontier_lowest_overhead(self):
+        """Paper Fig 6: Frontier has the lowest latency (hw matching)."""
+        o = {m.name: message_overhead(m, 8) for m in (PERLMUTTER, FRONTIER, SUNSPOT)}
+        assert o["Frontier"] < o["Perlmutter"] < o["Sunspot"]
+
+    def test_intra_node_cheaper_than_inter(self):
+        for m in (PERLMUTTER, FRONTIER):
+            assert message_time(m, MB, intra_node=True) < message_time(m, MB)
+
+    def test_sustained_bandwidth_targets(self):
+        """One-rank-per-node effective rates reproduce Fig 6's plateaus:
+        ~16 GB/s Frontier, ~14 GB/s Perlmutter, ~7 GB/s Sunspot."""
+        assert effective_inter_node_bandwidth(FRONTIER, 1) == pytest.approx(16.0)
+        assert effective_inter_node_bandwidth(PERLMUTTER, 1) == pytest.approx(14.0)
+        assert effective_inter_node_bandwidth(SUNSPOT, 1) == pytest.approx(7.5, abs=0.8)
+
+    def test_host_staging_is_the_sunspot_penalty(self):
+        """Sunspot's rate is fabric-limited only because of staging."""
+        from dataclasses import replace
+
+        aware = replace(SUNSPOT, gpu_aware_mpi=True)
+        assert effective_inter_node_bandwidth(aware, 1) == pytest.approx(14.0)
+
+    def test_nic_share(self):
+        assert nic_share(PERLMUTTER) == 1.0  # 4 NICs / 4 ranks
+        assert nic_share(FRONTIER) == 0.5  # 4 NICs / 8 GCD ranks
+        assert nic_share(SUNSPOT) == pytest.approx(8 / 12)
+        assert nic_share(FRONTIER, ranks_per_node=1) == 1.0
+
+
+class TestContention:
+    def test_latency_grows_with_nodes(self):
+        assert scale_latency_factor(PERLMUTTER, 128) > scale_latency_factor(
+            PERLMUTTER, 2
+        )
+
+    def test_bandwidth_baseline_at_8_nodes(self):
+        assert scale_bandwidth_factor(PERLMUTTER, 8) == 1.0
+        assert scale_bandwidth_factor(PERLMUTTER, 2) == 1.0
+
+    def test_bandwidth_decays_beyond_baseline(self):
+        assert scale_bandwidth_factor(PERLMUTTER, 128) < 1.0
+
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            scale_latency_factor(PERLMUTTER, 0)
+        with pytest.raises(ValueError):
+            scale_bandwidth_factor(PERLMUTTER, 0)
+
+
+class TestExchangeTime:
+    def test_remote_messages_serialize(self):
+        one = exchange_time(PERLMUTTER, [MB])
+        two = exchange_time(PERLMUTTER, [MB, MB])
+        assert two > one * 1.9
+
+    def test_local_overlaps_with_remote(self):
+        t_remote_only = exchange_time(PERLMUTTER, [8 * MB], [])
+        t_with_local = exchange_time(PERLMUTTER, [8 * MB], [MB])
+        assert t_with_local == t_remote_only  # local rides under the NIC time
+
+    def test_local_dominates_when_remote_empty(self):
+        t = exchange_time(PERLMUTTER, [], [MB])
+        assert t == message_time(PERLMUTTER, MB, intra_node=True)
+
+
+class TestAllreduce:
+    def test_single_rank_free(self):
+        assert allreduce_time(PERLMUTTER, 1) == 0.0
+
+    def test_grows_logarithmically(self):
+        t64 = allreduce_time(PERLMUTTER, 64)
+        t128 = allreduce_time(PERLMUTTER, 128)
+        t4096 = allreduce_time(PERLMUTTER, 4096)
+        assert t128 > t64
+        assert (t4096 - t64) == pytest.approx(t64, rel=0.05)  # 12 vs 6 hops
+
+    def test_invalid_ranks(self):
+        with pytest.raises(ValueError):
+            allreduce_time(PERLMUTTER, 0)

@@ -1,0 +1,113 @@
+"""Storage-ordering properties: bijection, contiguity, segment counts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bricks.brick_grid import NEIGHBOR_DIRECTIONS, BrickGrid, direction_kind
+from repro.bricks.orderings import (
+    ORDERINGS,
+    contiguous_segments,
+    lexicographic_order,
+    num_segments,
+    surface_major_order,
+)
+
+
+class TestOrderingFunctions:
+    @pytest.mark.parametrize("fn", [lexicographic_order, surface_major_order])
+    def test_orderings_are_permutations(self, fn):
+        order = fn((4, 3, 2), 1)
+        assert np.array_equal(np.sort(order), np.arange(6 * 5 * 4))
+
+    def test_lexicographic_is_identity(self):
+        order = lexicographic_order((2, 2, 2), 1)
+        assert np.array_equal(order, np.arange(64))
+
+    def test_registry_contents(self):
+        assert set(ORDERINGS) == {"lexicographic", "surface-major"}
+
+
+class TestContiguousSegments:
+    def test_empty(self):
+        assert contiguous_segments(np.array([], dtype=np.int64)) == []
+
+    def test_single_run(self):
+        assert contiguous_segments(np.array([3, 4, 5])) == [(3, 6)]
+
+    def test_multiple_runs(self):
+        assert contiguous_segments(np.array([1, 2, 5, 7, 8])) == [
+            (1, 3),
+            (5, 6),
+            (7, 9),
+        ]
+
+    def test_unsorted_input_ok(self):
+        assert contiguous_segments(np.array([5, 3, 4])) == [(3, 6)]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            contiguous_segments(np.array([1, 1, 2]))
+
+    def test_segments_cover_exactly(self):
+        slots = np.array([0, 1, 2, 10, 11, 40])
+        segs = contiguous_segments(slots)
+        covered = [s for a, b in segs for s in range(a, b)]
+        assert sorted(covered) == sorted(slots.tolist())
+
+
+class TestSurfaceMajorContiguity:
+    """The communication-optimisation claims of the surface-major order."""
+
+    @pytest.fixture
+    def grid(self):
+        return BrickGrid((4, 4, 4), 4, ghost_bricks=1, ordering="surface-major")
+
+    def test_every_ghost_region_is_one_segment(self, grid):
+        for d in NEIGHBOR_DIRECTIONS:
+            assert num_segments(grid, d, "recv") == 1, d
+
+    def test_corner_sends_are_one_segment(self, grid):
+        for d in NEIGHBOR_DIRECTIONS:
+            if direction_kind(d) == "corner":
+                assert num_segments(grid, d, "send") == 1, d
+
+    def test_lexicographic_ghosts_are_fragmented(self):
+        grid = BrickGrid((4, 4, 4), 4, ghost_bricks=1, ordering="lexicographic")
+        fragmented = [
+            d for d in NEIGHBOR_DIRECTIONS if num_segments(grid, d, "recv") > 1
+        ]
+        assert len(fragmented) >= 6  # most face/edge regions fragment
+
+    def test_surface_major_has_fewer_send_segments(self):
+        sm = BrickGrid((6, 6, 6), 4, ghost_bricks=1, ordering="surface-major")
+        lex = BrickGrid((6, 6, 6), 4, ghost_bricks=1, ordering="lexicographic")
+        total_sm = sum(num_segments(sm, d, "send") for d in NEIGHBOR_DIRECTIONS)
+        total_lex = sum(num_segments(lex, d, "send") for d in NEIGHBOR_DIRECTIONS)
+        assert total_sm < total_lex
+
+    def test_num_segments_rejects_bad_kind(self, grid):
+        with pytest.raises(ValueError):
+            num_segments(grid, (1, 0, 0), "both")
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(2, 5),
+    ordering=st.sampled_from(["lexicographic", "surface-major"]),
+)
+def test_regions_have_expected_total_bricks(n, ordering):
+    g = BrickGrid((n, n, n), 2, ghost_bricks=1, ordering=ordering)
+    for d in NEIGHBOR_DIRECTIONS:
+        nz = sum(1 for c in d if c != 0)
+        assert len(g.ghost_region_slots(d)) == n ** (3 - nz)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 6))
+def test_surface_major_recv_contiguity_property(n):
+    """Unpack-free receives hold for every grid size with n >= 2g."""
+    g = BrickGrid((n, n, n), 2, ghost_bricks=1, ordering="surface-major")
+    for d in NEIGHBOR_DIRECTIONS:
+        assert len(contiguous_segments(g.ghost_region_slots(d))) == 1

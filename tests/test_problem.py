@@ -1,0 +1,102 @@
+"""The model problem's analytic structure (Section IV-C)."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import reference_apply_op
+from repro.gmg.problem import (
+    LevelConstants,
+    continuum_solution,
+    discrete_operator_eigenvalue,
+    discrete_solution,
+    rhs_field,
+)
+
+
+class TestLevelConstants:
+    def test_paper_formulas(self):
+        c = LevelConstants.for_spacing(0.25)
+        assert c.alpha == pytest.approx(-6.0 / 0.0625)
+        assert c.beta == pytest.approx(1.0 / 0.0625)
+        assert c.gamma == pytest.approx(0.0625 / 12.0)
+
+    def test_gamma_is_half_damped_jacobi(self):
+        """gamma = h^2/12 equals omega * 1/|alpha| with omega = 1/2."""
+        c = LevelConstants.for_spacing(0.1)
+        assert c.gamma == pytest.approx(0.5 / abs(c.alpha))
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            LevelConstants.for_spacing(0.0)
+
+    def test_as_dict_keys(self):
+        assert set(LevelConstants.for_spacing(1.0).as_dict()) == {
+            "alpha",
+            "beta",
+            "gamma",
+        }
+
+
+class TestRhs:
+    def test_zero_mean(self):
+        b = rhs_field((16, 16, 16), 1 / 16)
+        assert abs(b.mean()) < 1e-14
+
+    def test_separable_product(self):
+        n, h = 8, 1 / 8
+        b = rhs_field((n, n, n), h)
+        x = (np.arange(n) + 0.5) * h
+        s = np.sin(2 * np.pi * x)
+        oracle = s[:, None, None] * s[None, :, None] * s[None, None, :]
+        np.testing.assert_allclose(b, oracle)
+
+    def test_origin_offsets_tile_the_domain(self):
+        full = rhs_field((8, 8, 8), 1 / 8)
+        part = rhs_field((4, 8, 8), 1 / 8, origin=(4, 0, 0))
+        np.testing.assert_array_equal(part, full[4:, :, :])
+
+    def test_max_amplitude_near_one(self):
+        b = rhs_field((32, 32, 32), 1 / 32)
+        assert 0.9 < np.abs(b).max() <= 1.0
+
+
+class TestDiscreteSolution:
+    def test_eigenvalue_identity(self):
+        """A b = lambda b for the product-of-sines mode (the key oracle)."""
+        n, h = 16, 1 / 16
+        b = rhs_field((n, n, n), h)
+        c = LevelConstants.for_spacing(h)
+        Ab = reference_apply_op(b, c.alpha, c.beta)
+        lam = discrete_operator_eigenvalue(h)
+        np.testing.assert_allclose(Ab, lam * b, rtol=1e-10, atol=1e-12)
+
+    def test_discrete_solution_satisfies_system(self):
+        n, h = 16, 1 / 16
+        x = discrete_solution((n, n, n), h)
+        b = rhs_field((n, n, n), h)
+        c = LevelConstants.for_spacing(h)
+        Ax = reference_apply_op(x, c.alpha, c.beta)
+        np.testing.assert_allclose(Ax, b, rtol=1e-10, atol=1e-12)
+
+    def test_discrete_solution_zero_mean(self):
+        x = discrete_solution((16, 16, 16), 1 / 16)
+        assert abs(x.mean()) < 1e-14
+
+    def test_second_order_convergence_to_continuum(self):
+        """|discrete - continuum| = O(h^2)."""
+        errs = []
+        for n in (16, 32, 64):
+            h = 1.0 / n
+            d = discrete_solution((n, n, n), h)
+            u = continuum_solution((n, n, n), h)
+            errs.append(np.abs(d - u).max())
+        rate1 = np.log2(errs[0] / errs[1])
+        rate2 = np.log2(errs[1] / errs[2])
+        assert rate1 == pytest.approx(2.0, abs=0.2)
+        assert rate2 == pytest.approx(2.0, abs=0.2)
+
+    def test_eigenvalue_approaches_continuum(self):
+        """lambda -> -12 pi^2 as h -> 0."""
+        assert discrete_operator_eigenvalue(1 / 256) == pytest.approx(
+            -12 * np.pi**2, rel=1e-3
+        )

@@ -1,0 +1,74 @@
+"""Protocol selection and NIC binding models."""
+
+import pytest
+
+from repro.comm.mapping import NicBinding, binding_hop_penalty
+from repro.comm.protocols import (
+    CxiSettings,
+    Protocol,
+    matching_overhead_factor,
+    select_protocol,
+)
+
+
+class TestProtocolSelection:
+    def test_defaults_use_eager_for_small(self):
+        s = CxiSettings.defaults()
+        assert select_protocol(1024, s) is Protocol.EAGER
+
+    def test_defaults_use_rendezvous_for_large(self):
+        s = CxiSettings.defaults()
+        assert select_protocol(1 << 20, s) is Protocol.RENDEZVOUS
+
+    def test_threshold_boundary(self):
+        s = CxiSettings(rdzv_eager_size=4096, rdzv_threshold=4096)
+        assert select_protocol(4095, s) is Protocol.EAGER
+        assert select_protocol(4096, s) is Protocol.RENDEZVOUS
+
+    def test_paper_settings_force_rendezvous_always(self):
+        for s in (CxiSettings.paper_perlmutter(), CxiSettings.paper_frontier()):
+            assert select_protocol(0, s) is Protocol.RENDEZVOUS
+            assert select_protocol(8, s) is Protocol.RENDEZVOUS
+
+    def test_min_of_both_variables_governs(self):
+        s = CxiSettings(rdzv_eager_size=0, rdzv_threshold=1 << 30)
+        assert select_protocol(8, s) is Protocol.RENDEZVOUS
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            select_protocol(-1, CxiSettings.defaults())
+
+
+class TestHardwareMatching:
+    def test_frontier_enables_hw_match(self):
+        assert CxiSettings.paper_frontier().hw_match
+        assert not CxiSettings.paper_perlmutter().hw_match
+
+    def test_hw_match_reduces_overhead(self):
+        assert matching_overhead_factor(CxiSettings.paper_frontier()) < 1.0
+        assert matching_overhead_factor(CxiSettings.paper_perlmutter()) == 1.0
+
+
+class TestBinding:
+    def test_closest_binding_is_free(self):
+        for gpu_nic in (True, False):
+            p = binding_hop_penalty(NicBinding.CLOSEST, gpu_nic)
+            assert p.latency_s == 0.0
+            assert p.bandwidth_factor == 1.0
+
+    def test_misbinding_costs(self):
+        p = binding_hop_penalty(NicBinding.DEFAULT, nic_attached_to_gpu=False)
+        assert p.latency_s > 0
+        assert p.bandwidth_factor < 1.0
+
+    def test_worst_is_worse_than_default(self):
+        d = binding_hop_penalty(NicBinding.DEFAULT, False)
+        w = binding_hop_penalty(NicBinding.WORST, False)
+        assert w.latency_s > d.latency_s
+        assert w.bandwidth_factor < d.bandwidth_factor
+
+    def test_gpu_attached_nic_amplifies_misbinding(self):
+        cpu = binding_hop_penalty(NicBinding.DEFAULT, nic_attached_to_gpu=False)
+        gpu = binding_hop_penalty(NicBinding.DEFAULT, nic_attached_to_gpu=True)
+        assert gpu.latency_s > cpu.latency_s
+        assert gpu.bandwidth_factor < cpu.bandwidth_factor

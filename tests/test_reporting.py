@@ -1,0 +1,118 @@
+"""Report renderers: paper-format output."""
+
+import pytest
+
+from repro.harness import experiments as E
+from repro.harness import reporting as R
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return E.fig3_time_per_level()
+
+
+class TestRenderers:
+    def test_fig3_table(self, fig3):
+        text = R.render_fig3(fig3)
+        assert "Figure 3" in text
+        assert "level 5" in text
+        assert "Perlmutter" in text
+
+    def test_fig4_table(self):
+        text = R.render_fig4(E.fig4_vs_hpgmg())
+        assert "HPGMG" in text
+        assert "x" in text
+
+    def test_table2(self):
+        text = R.render_table2(E.table2_op_breakdown())
+        assert "smooth+residual" in text
+        assert "%" in text
+
+    def test_fig5(self):
+        text = R.render_fig5(E.fig5_kernel_throughput("applyOp"))
+        assert "GStencil/s" in text
+        assert "alpha" in text
+
+    def test_fig6(self):
+        text = R.render_fig6(E.fig6_exchange_bandwidth())
+        assert "GB/s" in text
+        assert "MB" in text
+
+    def test_portability(self):
+        text = R.render_portability(E.table3_portability_roofline(), "Table III")
+        assert "overall Phi = 73%" in text
+
+    def test_table4(self):
+        from repro.perf import ai_comparison_rows
+
+        text = R.render_table4(ai_comparison_rows())
+        assert "applyOp" in text
+        assert "0.500" in text
+
+    def test_fig7(self):
+        text = R.render_fig7(E.fig7_potential_speedup())
+        assert "potential=" in text
+
+    def test_scaling(self):
+        text = R.render_scaling(E.fig8_weak_scaling("Sunspot"))
+        assert "weak" in text
+        assert "efficiency" in text
+        strong = R.render_scaling(E.fig9_strong_scaling("Sunspot"))
+        assert "Figure 9" in strong
+
+    def test_ablation(self):
+        text = R.render_ablation(E.ablation_optimizations())
+        assert "no-communication-avoiding" in text
+        assert "1.00x" in text
+
+
+class TestAsciiPlots:
+    def test_kernel_plot(self):
+        from repro.harness.ascii_plot import plot_kernel_throughput
+
+        text = plot_kernel_throughput(E.fig5_kernel_throughput("applyOp"))
+        assert "GStencil/s" in text
+        assert "* Perlmutter" in text
+        assert "(log)" in text
+
+    def test_exchange_plot(self):
+        from repro.harness.ascii_plot import plot_exchange_bandwidth
+
+        text = plot_exchange_bandwidth(E.fig6_exchange_bandwidth())
+        assert "GB/s" in text
+
+    def test_scaling_plot(self):
+        from repro.harness.ascii_plot import plot_scaling
+
+        text = plot_scaling([E.fig8_weak_scaling("Sunspot")])
+        assert "weak GStencil/s" in text
+
+    def test_plot_validation(self):
+        import pytest as _pytest
+
+        from repro.harness.ascii_plot import ascii_plot
+
+        with _pytest.raises(ValueError, match="at least one series"):
+            ascii_plot({})
+        with _pytest.raises(ValueError, match="mismatched"):
+            ascii_plot({"a": ([1.0], [1.0, 2.0])})
+        with _pytest.raises(ValueError, match="positive"):
+            ascii_plot({"a": ([0.0, 1.0], [1.0, 2.0])})
+        with _pytest.raises(ValueError, match="8x4"):
+            ascii_plot({"a": ([1.0, 2.0], [1.0, 2.0])}, width=4)
+
+    def test_linear_axes(self):
+        from repro.harness.ascii_plot import ascii_plot
+
+        text = ascii_plot(
+            {"a": ([0.0, 1.0, 2.0], [0.0, 1.0, 4.0])},
+            logx=False,
+            logy=False,
+        )
+        assert "(log)" not in text
+
+    def test_flat_series_does_not_crash(self):
+        from repro.harness.ascii_plot import ascii_plot
+
+        text = ascii_plot({"flat": ([1.0, 2.0], [5.0, 5.0])})
+        assert "flat" in text

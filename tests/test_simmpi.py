@@ -1,0 +1,119 @@
+"""Simulated MPI semantics: matching, ordering, collectives."""
+
+import numpy as np
+import pytest
+
+from repro.comm import SimComm
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self):
+        comm = SimComm(2)
+        payload = np.arange(10.0)
+        comm.isend(0, 1, tag=7, payload=payload)
+        out = comm.irecv(1, 0, tag=7).wait()
+        assert np.array_equal(out, payload)
+
+    def test_payload_snapshotted_at_post(self):
+        """MPI buffered-send semantics: mutating after isend is safe."""
+        comm = SimComm(2)
+        payload = np.arange(4.0)
+        comm.isend(0, 1, tag=0, payload=payload)
+        payload[:] = -1.0
+        out = comm.irecv(1, 0, tag=0).wait()
+        assert np.array_equal(out, np.arange(4.0))
+
+    def test_tag_matching(self):
+        comm = SimComm(2)
+        comm.isend(0, 1, tag=1, payload=np.array([1.0]))
+        comm.isend(0, 1, tag=2, payload=np.array([2.0]))
+        assert comm.irecv(1, 0, tag=2).wait()[0] == 2.0
+        assert comm.irecv(1, 0, tag=1).wait()[0] == 1.0
+
+    def test_fifo_for_identical_envelopes(self):
+        """Non-overtaking: same (src, dst, tag) arrives in post order."""
+        comm = SimComm(2)
+        for v in (1.0, 2.0, 3.0):
+            comm.isend(0, 1, tag=5, payload=np.array([v]))
+        got = [comm.irecv(1, 0, tag=5).wait()[0] for _ in range(3)]
+        assert got == [1.0, 2.0, 3.0]
+
+    def test_self_send(self):
+        comm = SimComm(1)
+        comm.isend(0, 0, tag=0, payload=np.array([4.0]))
+        assert comm.irecv(0, 0, tag=0).wait()[0] == 4.0
+
+    def test_unmatched_wait_raises(self):
+        comm = SimComm(2)
+        with pytest.raises(RuntimeError, match="deadlock"):
+            comm.irecv(1, 0, tag=9).wait()
+
+    def test_rank_range_checked(self):
+        comm = SimComm(2)
+        with pytest.raises(ValueError):
+            comm.isend(0, 2, tag=0, payload=np.zeros(1))
+        with pytest.raises(ValueError):
+            comm.irecv(-1, 0, tag=0)
+
+    def test_wait_is_idempotent(self):
+        comm = SimComm(2)
+        comm.isend(0, 1, tag=0, payload=np.array([1.0]))
+        req = comm.irecv(1, 0, tag=0)
+        a = req.wait()
+        b = req.wait()
+        assert a is b
+
+    def test_waitall(self):
+        comm = SimComm(2)
+        comm.isend(0, 1, tag=0, payload=np.array([1.0]))
+        comm.isend(0, 1, tag=1, payload=np.array([2.0]))
+        reqs = [comm.irecv(1, 0, tag=t) for t in (0, 1)]
+        outs = comm.waitall(reqs)
+        assert [o[0] for o in outs] == [1.0, 2.0]
+
+    def test_send_request_wait_is_noop(self):
+        comm = SimComm(2)
+        req = comm.isend(0, 1, tag=0, payload=np.zeros(3))
+        req.wait()
+        assert req.nbytes == 24
+
+
+class TestStats:
+    def test_counters(self):
+        comm = SimComm(2)
+        comm.isend(0, 1, tag=0, payload=np.zeros(10))
+        comm.isend(1, 0, tag=0, payload=np.zeros(5))
+        assert comm.sent_messages == 2
+        assert comm.sent_bytes == 120
+        assert comm.bytes_by_pair[(0, 1)] == 80
+
+    def test_assert_drained_clean(self):
+        comm = SimComm(2)
+        comm.isend(0, 1, tag=0, payload=np.zeros(1))
+        comm.irecv(1, 0, tag=0).wait()
+        comm.assert_drained()
+
+    def test_assert_drained_detects_leftovers(self):
+        comm = SimComm(2)
+        comm.isend(0, 1, tag=0, payload=np.zeros(1))
+        with pytest.raises(RuntimeError, match="undelivered"):
+            comm.assert_drained()
+
+
+class TestCollectives:
+    def test_allreduce_max(self):
+        comm = SimComm(3)
+        assert comm.allreduce_max([1.0, 5.0, 3.0]) == 5.0
+
+    def test_allreduce_sum(self):
+        comm = SimComm(3)
+        assert comm.allreduce_sum([1.0, 2.0, 3.0]) == 6.0
+
+    def test_allreduce_requires_all_ranks(self):
+        comm = SimComm(3)
+        with pytest.raises(ValueError):
+            comm.allreduce_max([1.0, 2.0])
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            SimComm(0)

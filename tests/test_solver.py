@@ -1,0 +1,166 @@
+"""Public solver API: configuration, convergence, distribution."""
+
+import numpy as np
+import pytest
+
+from repro.gmg import GMGSolver, SolverConfig, discrete_solution
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        SolverConfig()
+
+    def test_too_small_domain(self):
+        with pytest.raises(ValueError):
+            SolverConfig(global_cells=1)
+
+    def test_rank_dims_must_divide(self):
+        with pytest.raises(ValueError, match="does not divide"):
+            SolverConfig(global_cells=32, rank_dims=(3, 1, 1))
+
+    def test_levels_must_fit(self):
+        with pytest.raises(ValueError):
+            SolverConfig(global_cells=8, num_levels=5)
+
+    def test_level_spacing(self):
+        cfg = SolverConfig(global_cells=32, num_levels=3)
+        assert cfg.level_spacing(0) == pytest.approx(1 / 32)
+        assert cfg.level_spacing(2) == pytest.approx(4 / 32)
+
+    def test_derived_properties(self):
+        cfg = SolverConfig(global_cells=32, rank_dims=(2, 2, 1))
+        assert cfg.num_ranks == 4
+        assert cfg.cells_per_rank == (16, 16, 32)
+
+
+class TestSerialSolve:
+    @pytest.fixture(scope="class")
+    def result_and_solver(self):
+        solver = GMGSolver(
+            SolverConfig(global_cells=32, num_levels=3, brick_dim=4)
+        )
+        return solver.solve(), solver
+
+    def test_converges(self, result_and_solver):
+        result, _ = result_and_solver
+        assert result.converged
+        assert result.final_residual <= 1e-10
+
+    def test_solution_matches_discrete_exact(self, result_and_solver):
+        """The solver must land on the closed-form discrete solution."""
+        result, solver = result_and_solver
+        exact = discrete_solution((32, 32, 32), 1 / 32)
+        assert np.abs(solver.solution() - exact).max() < 1e-12
+
+    def test_convergence_factor_is_multigrid_like(self, result_and_solver):
+        """GMG reduces the residual by a healthy factor per cycle."""
+        result, _ = result_and_solver
+        assert result.convergence_factor < 0.15
+
+    def test_residual_dense_matches_history(self, result_and_solver):
+        result, solver = result_and_solver
+        assert np.abs(solver.residual_dense()).max() == pytest.approx(
+            result.final_residual
+        )
+
+    def test_recorder_saw_work(self, result_and_solver):
+        result, _ = result_and_solver
+        counts = result.recorder.kernel_counts()
+        assert counts[(0, "applyOp")] > 0
+        assert counts[(2, "smooth")] > 0  # bottom solver
+        assert result.recorder.reductions == len(result.residual_history)
+
+
+class TestDistributedEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_solution(self):
+        solver = GMGSolver(
+            SolverConfig(global_cells=16, num_levels=2, brick_dim=4,
+                         max_smooths=6, bottom_smooths=20)
+        )
+        solver.solve()
+        return solver.solution()
+
+    @pytest.mark.parametrize("dims", [(2, 1, 1), (1, 2, 1), (2, 2, 1), (2, 2, 2)])
+    def test_multi_rank_matches_serial_bitwise(self, serial_solution, dims):
+        solver = GMGSolver(
+            SolverConfig(global_cells=16, num_levels=2, brick_dim=4,
+                         max_smooths=6, bottom_smooths=20, rank_dims=dims)
+        )
+        solver.solve()
+        np.testing.assert_array_equal(solver.solution(), serial_solution)
+
+    def test_ordering_does_not_change_results(self, serial_solution):
+        solver = GMGSolver(
+            SolverConfig(global_cells=16, num_levels=2, brick_dim=4,
+                         max_smooths=6, bottom_smooths=20,
+                         rank_dims=(2, 1, 1), ordering="lexicographic")
+        )
+        solver.solve()
+        np.testing.assert_array_equal(solver.solution(), serial_solution)
+
+    def test_comm_is_drained_after_solve(self):
+        solver = GMGSolver(
+            SolverConfig(global_cells=16, num_levels=2, brick_dim=4,
+                         max_smooths=4, bottom_smooths=8, rank_dims=(2, 1, 1))
+        )
+        solver.solve()  # raises internally if messages leak
+
+
+class TestBrickSizeIndependence:
+    def test_brick_dim_does_not_change_numerics(self):
+        sols = []
+        for b in (2, 4, 8):
+            s = GMGSolver(
+                SolverConfig(global_cells=16, num_levels=2, brick_dim=b,
+                             max_smooths=4, bottom_smooths=10)
+            )
+            s.solve()
+            sols.append(s.solution())
+        np.testing.assert_array_equal(sols[0], sols[1])
+        np.testing.assert_array_equal(sols[1], sols[2])
+
+    def test_brick_dim_shrinks_on_coarse_levels(self):
+        s = GMGSolver(SolverConfig(global_cells=16, num_levels=3, brick_dim=8))
+        dims = [lv.grid.brick_dim for lv in s.rank_levels[0]]
+        assert dims == [8, 8, 4]
+
+
+class TestSolveResult:
+    def test_zero_cycle_convergence_factor(self):
+        from repro.gmg.solver import SolveResult
+        from repro.instrument import Recorder
+
+        r = SolveResult(True, 0, [0.0], Recorder())
+        assert r.convergence_factor == 1.0
+
+
+class TestEstimateSolveTime:
+    def test_bridges_functional_config_to_machine_model(self):
+        from repro.gmg.solver import estimate_solve_time
+        from repro.machines import PERLMUTTER
+
+        cfg = SolverConfig(global_cells=512 * 2, num_levels=6, brick_dim=8,
+                           rank_dims=(2, 2, 2))
+        t = estimate_solve_time(cfg, PERLMUTTER, num_vcycles=12)
+        # the paper-scale run: a few seconds on the A100 model
+        assert 1.0 < t < 10.0
+
+    def test_actual_cycles_feed_the_estimate(self):
+        from repro.gmg.solver import estimate_solve_time
+        from repro.machines import PERLMUTTER
+
+        cfg = SolverConfig(global_cells=32, num_levels=3, brick_dim=4,
+                           max_smooths=8, bottom_smooths=40)
+        result = GMGSolver(cfg).solve()
+        t = estimate_solve_time(cfg, PERLMUTTER, result.num_vcycles)
+        assert t > 0
+
+    def test_non_periodic_rejected(self):
+        from repro.gmg.solver import estimate_solve_time
+        from repro.machines import PERLMUTTER
+
+        cfg = SolverConfig(global_cells=32, num_levels=3, brick_dim=4,
+                           boundary="dirichlet")
+        with pytest.raises(ValueError, match="periodic"):
+            estimate_solve_time(cfg, PERLMUTTER, 10)

@@ -1,0 +1,36 @@
+"""Cross-rank timing statistics and the artifact output format."""
+
+import math
+
+import pytest
+
+from repro.perf import TimingStat, format_level_timing
+
+
+class TestTimingStat:
+    def test_basic_stats(self):
+        s = TimingStat.from_samples([1.0, 2.0, 3.0])
+        assert s.min == 1.0
+        assert s.avg == pytest.approx(2.0)
+        assert s.max == 3.0
+        assert s.stdev == pytest.approx(math.sqrt(2 / 3))
+        assert s.count == 3
+
+    def test_single_sample(self):
+        s = TimingStat.from_samples([5.0])
+        assert (s.min, s.avg, s.max, s.stdev) == (5.0, 5.0, 5.0, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TimingStat.from_samples([])
+
+    def test_format_contains_min_avg_max(self):
+        s = TimingStat.from_samples([0.265012, 0.265184, 0.265346])
+        text = s.format()
+        assert text.startswith("[0.265012, ")
+        assert "σ:" in text
+
+    def test_level_row_matches_artifact_format(self):
+        s = TimingStat.from_samples([0.1, 0.1, 0.1])
+        row = format_level_timing(0, "applyOp", s)
+        assert row.startswith("level 0 applyOp [")

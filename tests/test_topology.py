@@ -1,0 +1,113 @@
+"""Cartesian topology and rank factorisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bricks.brick_grid import NEIGHBOR_DIRECTIONS
+from repro.comm.topology import CartTopology, factor_ranks
+
+
+class TestCoordinates:
+    def test_roundtrip(self):
+        topo = CartTopology((2, 3, 4))
+        for rank in range(topo.size):
+            assert topo.rank_of(topo.coords_of(rank)) == rank
+
+    def test_row_major_layout(self):
+        topo = CartTopology((2, 2, 2))
+        assert topo.coords_of(0) == (0, 0, 0)
+        assert topo.coords_of(1) == (0, 0, 1)
+        assert topo.coords_of(7) == (1, 1, 1)
+
+    def test_rank_out_of_range(self):
+        topo = CartTopology((2, 2, 2))
+        with pytest.raises(ValueError):
+            topo.coords_of(8)
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            CartTopology((0, 2, 2))
+        with pytest.raises(ValueError):
+            CartTopology((2, 2, 2), ranks_per_node=0)
+
+
+class TestNeighbors:
+    def test_periodic_wrap(self):
+        topo = CartTopology((2, 2, 2))
+        assert topo.neighbor(0, (-1, 0, 0)) == topo.rank_of((1, 0, 0))
+
+    def test_26_neighbors(self):
+        topo = CartTopology((3, 3, 3))
+        nbs = topo.neighbors(13)  # centre rank
+        assert len(nbs) == 26
+        assert 13 not in nbs.values()
+
+    def test_single_rank_all_neighbors_self(self):
+        topo = CartTopology((1, 1, 1))
+        assert set(topo.neighbors(0).values()) == {0}
+
+    def test_neighbor_reciprocity(self):
+        topo = CartTopology((2, 3, 2))
+        for rank in range(topo.size):
+            for d in NEIGHBOR_DIRECTIONS:
+                nb = topo.neighbor(rank, d)
+                back = tuple(-c for c in d)
+                assert topo.neighbor(nb, back) == rank
+
+
+class TestNodes:
+    def test_node_assignment(self):
+        topo = CartTopology((2, 2, 2), ranks_per_node=4)
+        assert topo.num_nodes == 2
+        assert topo.node_of(0) == 0
+        assert topo.node_of(3) == 0
+        assert topo.node_of(4) == 1
+
+    def test_intra_node(self):
+        topo = CartTopology((2, 2, 2), ranks_per_node=4)
+        assert topo.is_intra_node(0, 3)
+        assert not topo.is_intra_node(3, 4)
+
+    def test_remote_fraction_one_rank_per_node(self):
+        topo = CartTopology((2, 2, 2), ranks_per_node=1)
+        assert topo.remote_neighbor_fraction(0) == 1.0
+
+    def test_remote_fraction_all_on_one_node(self):
+        topo = CartTopology((2, 2, 2), ranks_per_node=8)
+        assert topo.remote_neighbor_fraction(0) == 0.0
+
+    def test_subdomain_origin(self):
+        topo = CartTopology((2, 2, 2))
+        assert topo.subdomain_origin(7, (16, 16, 16)) == (16, 16, 16)
+
+    def test_direction_kind_passthrough(self):
+        assert CartTopology((1, 1, 1)).direction_kind((1, 0, 0)) == "face"
+
+
+class TestFactorRanks:
+    @pytest.mark.parametrize(
+        "size,expected",
+        [(1, (1, 1, 1)), (8, (2, 2, 2)), (64, (4, 4, 4)), (512, (8, 8, 8))],
+    )
+    def test_perfect_cubes(self, size, expected):
+        assert factor_ranks(size) == expected
+
+    def test_non_cube(self):
+        dims = factor_ranks(12)
+        assert dims[0] * dims[1] * dims[2] == 12
+        assert dims == (3, 2, 2)
+
+    def test_prime(self):
+        assert factor_ranks(7) == (7, 1, 1)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            factor_ranks(0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(size=st.integers(1, 4096))
+    def test_product_property(self, size):
+        d = factor_ranks(size)
+        assert d[0] * d[1] * d[2] == size
+        assert d[0] >= d[1] >= d[2] >= 1

@@ -1,0 +1,165 @@
+"""Variable-coefficient multigrid."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import analyze
+from repro.gmg.varcoef import (
+    VARIABLE_APPLY_OP,
+    VARIABLE_SMOOTH,
+    VARIABLE_SMOOTH_RESIDUAL,
+    VarCoefLevel,
+    VariableCoefficientJacobi,
+    VariableCoefficientSolver,
+)
+
+
+def beta_smooth(x, y, z):
+    return 1.0 + 0.5 * np.sin(2 * np.pi * x) * np.cos(2 * np.pi * y) + (
+        0.25 * np.cos(2 * np.pi * z)
+    )
+
+
+def manufactured_u(n: int) -> np.ndarray:
+    c = (np.arange(n) + 0.5) / n
+    u = (
+        np.sin(2 * np.pi * c)[:, None, None]
+        * np.sin(4 * np.pi * c)[None, :, None]
+        * np.cos(2 * np.pi * c)[None, None, :]
+    )
+    return u - u.mean()
+
+
+class TestKernels:
+    def test_apply_op_reads_coefficient_grids(self):
+        an = analyze(VARIABLE_APPLY_OP)
+        assert set(an.input_grids) == {"x", "c0", "cx", "cy", "cz"}
+        assert an.halo_grids == ("x",)
+
+    def test_smooth_uses_precomputed_diagonal(self):
+        an = analyze(VARIABLE_SMOOTH)
+        assert "dinv" in an.input_grids
+        assert an.radius == 0
+
+    def test_smooth_residual_outputs(self):
+        an = analyze(VARIABLE_SMOOTH_RESIDUAL)
+        assert set(an.output_grids) == {"x", "r"}
+
+
+class TestVarCoefLevel:
+    def test_coefficient_derivation(self):
+        lv = VarCoefLevel(0, (8, 8, 8), 4, h=1 / 8)
+        beta = np.full((8, 8, 8), 2.0)
+        lv.set_coefficient(beta)
+        np.testing.assert_allclose(lv.cx.to_ijk(), 2.0 * 64.0)
+        np.testing.assert_allclose(lv.c0.to_ijk(), -6.0 * 2.0 * 64.0)
+        np.testing.assert_allclose(lv.dinv.to_ijk(), 1.0 / (-768.0))
+
+    def test_positive_coefficient_required(self):
+        lv = VarCoefLevel(0, (8, 8, 8), 4, h=1 / 8)
+        with pytest.raises(ValueError, match="positive"):
+            lv.set_coefficient(np.zeros((8, 8, 8)))
+
+    def test_fields_include_coefficients(self):
+        lv = VarCoefLevel(0, (8, 8, 8), 4, h=1 / 8)
+        assert {"c0", "cx", "cy", "cz", "dinv"} <= set(lv.fields())
+
+
+class TestOperator:
+    def test_constant_beta_recovers_paper_operator(self):
+        """beta = 1 must reproduce the constant-coefficient A exactly."""
+        from tests.conftest import reference_apply_op
+
+        s = VariableCoefficientSolver(
+            lambda x, y, z: np.ones_like(x + y + z),
+            global_cells=16, num_levels=2, brick_dim=4,
+        )
+        rng = np.random.default_rng(5)
+        u = rng.random((16, 16, 16))
+        Au = s.apply_operator(u)
+        c = s.rank_levels[0][0].constants
+        oracle = reference_apply_op(u, c.alpha, c.beta)
+        np.testing.assert_allclose(Au, oracle, rtol=1e-12)
+
+    def test_row_sums_vanish(self):
+        """Conservation: A applied to a constant is zero."""
+        s = VariableCoefficientSolver(beta_smooth, global_cells=16,
+                                      num_levels=2, brick_dim=4)
+        Au = s.apply_operator(np.full((16, 16, 16), 3.7))
+        assert np.abs(Au).max() < 1e-7  # c0 = -2(cx+cy+cz) exactly
+
+    def test_distributed_operator_matches_serial(self):
+        u = manufactured_u(16)
+        serial = VariableCoefficientSolver(beta_smooth, global_cells=16,
+                                           num_levels=2, brick_dim=4)
+        dist = VariableCoefficientSolver(beta_smooth, global_cells=16,
+                                         num_levels=2, brick_dim=4,
+                                         rank_dims=(2, 1, 1))
+        np.testing.assert_array_equal(
+            serial.apply_operator(u), dist.apply_operator(u)
+        )
+
+
+class TestSolve:
+    @pytest.fixture(scope="class")
+    def solved(self):
+        s = VariableCoefficientSolver(beta_smooth, global_cells=32,
+                                      num_levels=3, brick_dim=4,
+                                      max_smooths=8, bottom_smooths=60)
+        u = manufactured_u(32)
+        b = s.apply_operator(u)
+        s.set_rhs(b)
+        result = s.solve(tol=1e-9, max_vcycles=60)
+        return s, u, result
+
+    def test_converges(self, solved):
+        _, _, result = solved
+        assert result.converged
+        assert result.num_vcycles < 20
+
+    def test_recovers_manufactured_solution(self, solved):
+        s, u, _ = solved
+        sol = s.solution()
+        sol -= sol.mean()
+        assert np.abs(sol - u).max() < 1e-9
+
+    def test_residual_decreases(self, solved):
+        _, _, result = solved
+        h = result.residual_history
+        assert all(b < a for a, b in zip(h, h[1:]))
+
+    def test_distributed_solve_matches_serial(self, solved):
+        s, u, _ = solved
+        dist = VariableCoefficientSolver(beta_smooth, global_cells=32,
+                                         num_levels=3, brick_dim=4,
+                                         max_smooths=8, bottom_smooths=60,
+                                         rank_dims=(2, 1, 1))
+        dist.set_rhs(dist.apply_operator(u))
+        dist.solve(tol=1e-9, max_vcycles=60)
+        a = s.solution()
+        b = dist.solution()
+        np.testing.assert_allclose(a - a.mean(), b - b.mean(), atol=1e-12)
+
+    def test_rank_dims_must_divide(self):
+        with pytest.raises(ValueError, match="divide"):
+            VariableCoefficientSolver(beta_smooth, global_cells=16,
+                                      num_levels=2, rank_dims=(3, 1, 1))
+
+    def test_smoother_validation(self):
+        with pytest.raises(ValueError):
+            VariableCoefficientJacobi(omega=0.0)
+
+    def test_rough_coefficient_still_converges(self):
+        """A 10:1 coefficient jump (smoothly varying) still solves."""
+
+        def rough(x, y, z):
+            return 1.0 + 9.0 * (0.5 + 0.5 * np.sin(2 * np.pi * x) *
+                                np.sin(2 * np.pi * y) * np.sin(2 * np.pi * z))
+
+        s = VariableCoefficientSolver(rough, global_cells=32, num_levels=3,
+                                      brick_dim=4, max_smooths=8,
+                                      bottom_smooths=60)
+        u = manufactured_u(32)
+        s.set_rhs(s.apply_operator(u))
+        result = s.solve(tol=1e-8, max_vcycles=80)
+        assert result.converged
