@@ -1,0 +1,70 @@
+"""Resilience overhead: the faultsweep battery priced on a paper machine.
+
+Runs the full seeded fault sweep (message drop/corrupt/duplicate/delay,
+kernel SDC, a random burst, and a persistent drop storm) and reports
+recovery behaviour plus the modelled overhead of the detect → retry →
+rollback → degrade machinery. Claims checked:
+
+* with injection disabled the hardened path costs only checkpoints —
+  well under one V-cycle of modelled time;
+* every transient scenario recovers bit-identically to the fault-free
+  reference, with retry-only recovery (message faults) costing zero
+  extra V-cycles and rollback recovery (SDC) a bounded number;
+* the persistent storm degrades to ``failed_faults`` instead of
+  raising, with all of its bounded recovery budget spent;
+* overhead ranks sanely: checkpoint-only < retry recovery < rollback
+  recovery (re-executed V-cycles dominate).
+"""
+
+from benchmarks.conftest import report
+from repro.faults.sweep import default_config, fault_sweep, render_fault_sweep
+from repro.gmg.solver import estimate_solve_time
+from repro.machines import MACHINES
+
+MACHINE = "Perlmutter"
+
+
+def test_fault_overhead(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fault_sweep(seed=2024, machine_name=MACHINE),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    report("fault_overhead", render_fault_sweep(rows, MACHINE))
+
+    by_name = {r.scenario: r for r in rows}
+    base = by_name["no-faults"]
+    storm = by_name["drop-storm"]
+    transient = [
+        r for r in rows if r.scenario not in ("no-faults", "drop-storm")
+    ]
+
+    # hardening without faults: bit-identical, checkpoint-only overhead
+    vcycle_ms = estimate_solve_time(
+        default_config(), MACHINES[MACHINE], num_vcycles=1
+    ) * 1e3
+    assert base.bit_identical
+    assert base.injected == base.detected == 0
+    assert base.overhead_ms < vcycle_ms
+
+    # every transient fault is detected and recovered bit-identically
+    for r in transient:
+        assert r.status == "converged", r.scenario
+        assert r.bit_identical, r.scenario
+        assert r.detected >= 1, r.scenario
+        if r.retries or r.rollbacks:  # duplicate discard is free
+            assert r.overhead_ms > base.overhead_ms, r.scenario
+
+    # retry-only recovery costs no extra cycles; rollback recovery does
+    assert by_name["drop-message"].extra_vcycles == 0
+    assert by_name["sdc-nan-finest"].extra_vcycles > 0
+    assert (
+        by_name["sdc-nan-finest"].overhead_ms
+        > by_name["drop-message"].overhead_ms
+    )
+
+    # the storm exhausts its budget and degrades, never raises
+    assert storm.status == "failed_faults"
+    assert storm.rollbacks > 0
+    assert not storm.bit_identical

@@ -115,6 +115,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faultsweep(args: argparse.Namespace) -> int:
+    from repro.faults.sweep import fault_sweep, render_fault_sweep
+
+    machine = None if args.machine == "none" else args.machine
+    dims = tuple(int(v) for v in args.ranks.split(","))
+    rows = fault_sweep(seed=args.seed, machine_name=machine, rank_dims=dims)
+    print(render_fault_sweep(rows, machine))
+    # Success = every scenario ended in a structured status and the
+    # recoverable ones converged back to the reference solution.
+    recoverable = [r for r in rows if r.scenario != "drop-storm"]
+    ok = all(r.status == "converged" for r in recoverable) and all(
+        r.bit_identical for r in recoverable
+    )
+    return 0 if ok else 1
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.harness.validation import render_validation, run_validation
 
@@ -196,6 +212,22 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["Perlmutter", "Frontier", "Sunspot", "all"],
     )
     tune.set_defaults(func=_cmd_autotune)
+
+    faultsweep = sub.add_parser(
+        "faultsweep",
+        help="inject message/kernel faults and report recovery + overhead",
+    )
+    faultsweep.add_argument("--seed", type=int, default=2024,
+                            help="seed for the random-burst scenario")
+    faultsweep.add_argument("--ranks", default="2,1,1",
+                            help="rank grid, e.g. 2,2,1 (default 2,1,1)")
+    faultsweep.add_argument(
+        "--machine",
+        default="Perlmutter",
+        choices=["Perlmutter", "Frontier", "Sunspot", "none"],
+        help="machine pricing the resilience overhead ('none' to skip)",
+    )
+    faultsweep.set_defaults(func=_cmd_faultsweep)
 
     validate = sub.add_parser(
         "validate", help="run the artifact-style self-checks"

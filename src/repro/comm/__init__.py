@@ -22,10 +22,20 @@ data between rank subdomains and must match single-rank solves exactly.
 Message *timing* is priced separately by :mod:`repro.machines.network`.
 """
 
-from repro.comm.exchange import HaloExchange, LocalPeriodicExchange
+from repro.comm.exchange import (
+    ExchangeFaultError,
+    HaloExchange,
+    LocalPeriodicExchange,
+    payload_checksum,
+)
 from repro.comm.mapping import NicBinding, binding_hop_penalty
 from repro.comm.protocols import CxiSettings, Protocol, select_protocol
-from repro.comm.simmpi import RecvRequest, SendRequest, SimComm
+from repro.comm.simmpi import (
+    RecvRequest,
+    SendRequest,
+    SimComm,
+    UnmatchedReceiveError,
+)
 from repro.comm.topology import CartTopology
 
 __all__ = [
@@ -33,8 +43,11 @@ __all__ = [
     "SimComm",
     "SendRequest",
     "RecvRequest",
+    "UnmatchedReceiveError",
     "HaloExchange",
     "LocalPeriodicExchange",
+    "ExchangeFaultError",
+    "payload_checksum",
     "Protocol",
     "CxiSettings",
     "select_protocol",

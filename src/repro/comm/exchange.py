@@ -22,6 +22,7 @@ decomposition-agnostic.
 
 from __future__ import annotations
 
+import zlib
 from typing import Sequence
 
 import numpy as np
@@ -34,9 +35,43 @@ from repro.bricks.brick_grid import (
 )
 from repro.bricks.bricked_array import BrickedArray
 from repro.bricks.orderings import contiguous_segments
-from repro.comm.simmpi import SimComm
+from repro.comm.simmpi import SimComm, UnmatchedReceiveError
 from repro.comm.topology import CartTopology
 from repro.instrument import Recorder
+
+
+class ExchangeFaultError(RuntimeError):
+    """A receive exhausted its retry budget during an exchange.
+
+    Raised only on the resilient path (fault injection active) after
+    ``max_retries`` retransmission attempts all failed — the caller
+    (the resilient solve driver) converts it into rollback or a
+    ``failed_faults`` outcome rather than letting it escape to users.
+    """
+
+    def __init__(
+        self,
+        level: int,
+        rank: int,
+        src: int,
+        direction: tuple[int, int, int],
+        attempts: int,
+    ) -> None:
+        super().__init__(
+            f"exchange at level {level} gave up after {attempts} retries: "
+            f"rank {rank} never received a valid ghost region from rank "
+            f"{src} along direction {direction}"
+        )
+        self.level = level
+        self.rank = rank
+        self.src = src
+        self.direction = direction
+        self.attempts = attempts
+
+
+def payload_checksum(payload: np.ndarray) -> int:
+    """CRC32 of a message payload (the sender-side integrity header)."""
+    return zlib.crc32(np.ascontiguousarray(payload).tobytes())
 
 
 class LocalPeriodicExchange:
@@ -115,6 +150,8 @@ class HaloExchange:
         comm: SimComm,
         recorder: Recorder | None = None,
         boundary=None,
+        injector=None,
+        max_retries: int = 3,
     ) -> None:
         from repro.gmg.boundary import BoundaryCondition, BoundaryFill
 
@@ -122,10 +159,19 @@ class HaloExchange:
             raise ValueError(
                 f"topology has {topology.size} ranks but comm has {comm.size}"
             )
+        if max_retries < 1:
+            raise ValueError(f"max_retries must be positive: {max_retries}")
         self.grid = grid
         self.topology = topology
         self.comm = comm
         self.recorder = recorder
+        #: optional FaultInjector; when set, sends carry checksums and
+        #: receives validate, discard duplicates, and retry via
+        #: retransmission instead of raising on the first anomaly.
+        self.injector = injector
+        self.max_retries = int(max_retries)
+        #: next expected sequence number per (rank, src, tag) envelope
+        self._next_seq: dict[tuple[int, int, int], int] = {}
         self.boundary = boundary or BoundaryCondition.PERIODIC
         if topology.periodic != (self.boundary is BoundaryCondition.PERIODIC):
             raise ValueError(
@@ -190,7 +236,15 @@ class HaloExchange:
                     [f.data[self._send_slots[d]] for f in fields]
                 )
                 tag = direction_index(d)
-                self.comm.isend(rank, dst, tag, payload)
+                checksum = action = None
+                if self.injector is not None:
+                    checksum = payload_checksum(payload)
+                    action = self.injector.message_action(
+                        level, rank, dst, tag, d, payload.nbytes
+                    )
+                self.comm.isend(
+                    rank, dst, tag, payload, checksum=checksum, fault=action
+                )
                 if self.recorder is not None:
                     self.recorder.message(
                         level,
@@ -216,14 +270,9 @@ class HaloExchange:
                 # Our ghost region in direction d is the neighbour's
                 # send region in direction -d, tagged with -d's index.
                 tag = direction_index(tuple(-c for c in d))
-                payload = self.comm.irecv(rank, src, tag).wait()
                 ghost = self._ghost_slots[d]
                 expected = (nfields, len(ghost)) + (self.grid.brick_dim,) * 3
-                if payload.shape != expected:
-                    raise RuntimeError(
-                        f"ghost region shape mismatch: got {payload.shape}, "
-                        f"expected {expected}"
-                    )
+                payload = self._receive(level, rank, src, tag, d, expected)
                 for f_idx, field in enumerate(fields):
                     field.data[ghost] = payload[f_idx]
 
@@ -236,3 +285,129 @@ class HaloExchange:
 
         if self.recorder is not None:
             self.recorder.exchange(level)
+
+    # ------------------------------------------------------------------
+    # receive paths
+    # ------------------------------------------------------------------
+    def _receive(
+        self,
+        level: int,
+        rank: int,
+        src: int,
+        tag: int,
+        d: tuple[int, int, int],
+        expected_shape: tuple[int, ...],
+    ) -> np.ndarray:
+        """One ghost-region receive, fault-tolerant when an injector is set."""
+        if self.injector is not None:
+            return self._receive_resilient(level, rank, src, tag, d, expected_shape)
+        try:
+            payload = self.comm.irecv(rank, src, tag).wait()
+        except UnmatchedReceiveError as exc:
+            raise UnmatchedReceiveError(
+                f"{exc} (while filling rank {rank}'s ghost region along "
+                f"direction {d} at level {level})"
+            ) from None
+        if payload.shape != expected_shape:
+            raise RuntimeError(
+                f"ghost region shape mismatch: got {payload.shape}, "
+                f"expected {expected_shape} (rank {rank}, direction {d}, "
+                f"level {level})"
+            )
+        return payload
+
+    def _fault(self, kind: str, level: int, rank: int, src: int, tag: int,
+               nbytes: int = 0, attempt: int = 0) -> None:
+        if self.recorder is not None:
+            vcycle = self.injector.vcycle if self.injector is not None else -1
+            self.recorder.fault(
+                kind, vcycle=vcycle, level=level, rank=rank, src=src,
+                tag=tag, nbytes=nbytes, attempt=attempt,
+            )
+
+    def _receive_resilient(
+        self,
+        level: int,
+        rank: int,
+        src: int,
+        tag: int,
+        d: tuple[int, int, int],
+        expected_shape: tuple[int, ...],
+    ) -> np.ndarray:
+        """Checksum-validated receive with duplicate discard and bounded
+        retry.
+
+        Anomaly handling, in order: a stale sequence number is a
+        duplicate (discarded, not an attempt); an empty mailbox first
+        flushes the delay queue (a late message landing after the retry
+        timeout), then falls back to sender-side retransmission; a
+        checksum or shape failure discards the message and requests
+        retransmission.  Each retransmission passes through the injector
+        again, so persistent faults can defeat the whole budget — after
+        ``max_retries`` failed attempts the receive raises
+        :class:`ExchangeFaultError` for the recovery layer.
+        """
+        key = (rank, src, tag)
+        sender_d = tuple(-c for c in d)
+        attempts = 0
+        while True:
+            msg = self.comm.try_match(rank, src, tag)
+            if msg is not None and msg.seq < self._next_seq.get(key, 0):
+                self._fault("detect_duplicate", level, rank, src, tag,
+                            nbytes=msg.payload.nbytes)
+                continue
+            if msg is not None:
+                valid = msg.payload.shape == expected_shape and (
+                    msg.checksum is None
+                    or payload_checksum(msg.payload) == msg.checksum
+                )
+                if valid:
+                    self._next_seq[key] = msg.seq + 1
+                    return msg.payload
+                self._fault("detect_corrupt", level, rank, src, tag,
+                            nbytes=msg.payload.nbytes)
+            elif self.comm.release_delayed(rank, src, tag):
+                self._fault("detect_delay", level, rank, src, tag)
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise ExchangeFaultError(level, rank, src, d, attempts - 1)
+                self._fault("retry", level, rank, src, tag, attempt=attempts,
+                            nbytes=self.comm.logged_nbytes(rank, src, tag))
+                continue
+            else:
+                self._fault("detect_drop", level, rank, src, tag)
+            attempts += 1
+            if attempts > self.max_retries:
+                raise ExchangeFaultError(level, rank, src, d, attempts - 1)
+            self._fault("retry", level, rank, src, tag, attempt=attempts,
+                        nbytes=self.comm.logged_nbytes(rank, src, tag))
+            action = self.injector.message_action(
+                level, src, rank, tag, sender_d,
+                self.comm.logged_nbytes(rank, src, tag),
+            )
+            try:
+                nbytes = self.comm.retransmit(rank, src, tag, fault=action)
+            except UnmatchedReceiveError as exc:
+                raise UnmatchedReceiveError(
+                    f"{exc} (while filling rank {rank}'s ghost region along "
+                    f"direction {d} at level {level})"
+                ) from None
+            self._fault("retransmit", level, rank, src, tag,
+                        nbytes=nbytes, attempt=attempts)
+
+    def drain_stale(self) -> int:
+        """Discard leftover duplicates before the end-of-solve drain check.
+
+        A duplicated message whose original was consumed in the solve's
+        final exchange on its envelope has no later receive to discard
+        it; its stale sequence number identifies it here.  Returns the
+        number of messages discarded (each recorded as a detected
+        duplicate).
+        """
+        n = 0
+        for (rank, src, tag), expected in self._next_seq.items():
+            dropped = self.comm.discard_stale(rank, src, tag, expected)
+            for _ in range(dropped):
+                self._fault("detect_duplicate", -1, rank, src, tag)
+            n += dropped
+        return n

@@ -8,9 +8,19 @@ are posted against ``(source, tag)`` and completed by ``wait``.
 
 The driver executes ranks in lockstep phases, so by the time any rank
 waits on a receive, the matching send has been posted; an unmatched
-wait is therefore a protocol bug and raises.  Message payloads are real
-NumPy arrays — distributed solves genuinely move data between rank
-subdomains.
+wait is therefore a protocol bug and raises
+:class:`UnmatchedReceiveError`.  Message payloads are real NumPy arrays
+— distributed solves genuinely move data between rank subdomains.
+
+Fault modelling (``repro.faults``): every message carries an in-band
+header — a per-envelope sequence number and an optional sender-side
+checksum — and ``isend`` accepts a
+:class:`~repro.faults.injector.FaultAction` describing what the "wire"
+does to this transmission: drop it, flip a bit (after the checksum is
+computed, as real corruption would), duplicate it, or park it in a
+delay queue until the receiver's retry timeout flushes it.  The pristine
+payload of the last send per envelope is retained (the MPI send-buffer
+analogue) so :meth:`SimComm.retransmit` can model a sender-side resend.
 """
 
 from __future__ import annotations
@@ -19,6 +29,24 @@ from collections import defaultdict, deque
 from dataclasses import dataclass
 
 import numpy as np
+
+
+class UnmatchedReceiveError(RuntimeError):
+    """A receive waited on an envelope that was never sent.
+
+    With no fault injection active this is always a protocol bug
+    (mismatched send/receive bookkeeping), hence the 'deadlock' wording;
+    the exchange layer re-raises it with direction and level context.
+    """
+
+
+@dataclass
+class _Message:
+    """One in-flight transmission: payload plus resilience header."""
+
+    payload: np.ndarray
+    checksum: int | None
+    seq: int
 
 
 @dataclass
@@ -47,7 +75,7 @@ class RecvRequest:
     def wait(self) -> np.ndarray:
         """Complete the receive, returning the message payload."""
         if not self._done:
-            self._payload = self._comm._match(self._dst, self._src, self._tag)
+            self._payload = self._comm._match(self._dst, self._src, self._tag).payload
             self._done = True
         assert self._payload is not None
         return self._payload
@@ -60,11 +88,17 @@ class SimComm:
         if size < 1:
             raise ValueError(f"size must be positive: {size}")
         self.size = int(size)
-        # (dst, src, tag) -> FIFO of payloads, preserving MPI's
+        # (dst, src, tag) -> FIFO of messages, preserving MPI's
         # non-overtaking order for identical envelopes.
         self._mailboxes: dict[tuple[int, int, int], deque] = defaultdict(deque)
+        # Faulted 'delay' transmissions parked until a retry flushes them.
+        self._delayed: dict[tuple[int, int, int], deque] = defaultdict(deque)
+        # Last pristine transmission per envelope (send-buffer analogue).
+        self._send_log: dict[tuple[int, int, int], _Message] = {}
+        self._send_seq: dict[tuple[int, int, int], int] = defaultdict(int)
         self.sent_messages = 0
         self.sent_bytes = 0
+        self.retransmissions = 0
         self.bytes_by_pair: dict[tuple[int, int], int] = defaultdict(int)
 
     def _check_rank(self, rank: int, what: str) -> None:
@@ -74,16 +108,59 @@ class SimComm:
     # ------------------------------------------------------------------
     # point to point
     # ------------------------------------------------------------------
-    def isend(self, src: int, dst: int, tag: int, payload: np.ndarray) -> SendRequest:
-        """Post a send; the payload is snapshotted at post time."""
+    def isend(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        payload: np.ndarray,
+        checksum: int | None = None,
+        fault=None,
+    ) -> SendRequest:
+        """Post a send; the payload is snapshotted at post time.
+
+        ``checksum`` is carried in-band (computed by the sender over the
+        pristine data).  ``fault`` is an optional
+        :class:`~repro.faults.injector.FaultAction` the "wire" applies
+        to this transmission.
+        """
         self._check_rank(src, "source rank")
         self._check_rank(dst, "destination rank")
         data = np.ascontiguousarray(payload).copy()
-        self._mailboxes[(dst, src, tag)].append(data)
+        key = (dst, src, tag)
+        seq = self._send_seq[key]
+        self._send_seq[key] = seq + 1
+        msg = _Message(data, checksum, seq)
+        self._send_log[key] = msg
         self.sent_messages += 1
         self.sent_bytes += data.nbytes
         self.bytes_by_pair[(src, dst)] += data.nbytes
+        self._transmit(key, msg, fault)
         return SendRequest(dst=dst, tag=tag, nbytes=data.nbytes)
+
+    def _transmit(self, key: tuple[int, int, int], msg: _Message, fault) -> None:
+        """Put one transmission on the wire, applying any fault action."""
+        if fault is None:
+            self._mailboxes[key].append(msg)
+            return
+        if fault.kind == "drop":
+            return  # vanishes on the wire
+        if fault.kind == "corrupt":
+            corrupted = msg.payload.copy()
+            flat = corrupted.view(np.uint8).reshape(-1)
+            flat[fault.corrupt_byte % flat.size] ^= np.uint8(
+                1 << (fault.corrupt_bit % 8)
+            )
+            self._mailboxes[key].append(_Message(corrupted, msg.checksum, msg.seq))
+            return
+        if fault.kind == "duplicate":
+            self._mailboxes[key].append(msg)
+            self._mailboxes[key].append(_Message(msg.payload, msg.checksum, msg.seq))
+            return
+        if fault.kind == "delay":
+            self._delayed[key].append(msg)
+            return
+        raise ValueError(f"unknown fault action {fault.kind!r}")
 
     def irecv(self, dst: int, src: int, tag: int) -> RecvRequest:
         """Post a receive for ``(src, tag)`` at rank ``dst``."""
@@ -91,14 +168,86 @@ class SimComm:
         self._check_rank(dst, "destination rank")
         return RecvRequest(self, dst, src, tag)
 
-    def _match(self, dst: int, src: int, tag: int) -> np.ndarray:
+    def _match(self, dst: int, src: int, tag: int) -> _Message:
         box = self._mailboxes.get((dst, src, tag))
         if not box:
-            raise RuntimeError(
+            raise UnmatchedReceiveError(
                 f"deadlock: rank {dst} waits on a message from rank {src} "
                 f"tag {tag} that was never sent"
             )
         return box.popleft()
+
+    def try_match(self, dst: int, src: int, tag: int) -> _Message | None:
+        """Pop the next message for an envelope, or ``None`` if empty.
+
+        The resilient receive path in
+        :class:`~repro.comm.exchange.HaloExchange` uses this instead of
+        :meth:`irecv`'s raising wait so a missing message becomes a
+        detected fault rather than an exception.
+        """
+        box = self._mailboxes.get((dst, src, tag))
+        if not box:
+            return None
+        return box.popleft()
+
+    def release_delayed(self, dst: int, src: int, tag: int) -> int:
+        """Flush parked 'delay' transmissions into the mailbox.
+
+        Models the receiver's retry timeout expiring after which the
+        late message finally lands; returns how many were released.
+        """
+        key = (dst, src, tag)
+        parked = self._delayed.get(key)
+        if not parked:
+            return 0
+        n = len(parked)
+        self._mailboxes[key].extend(parked)
+        parked.clear()
+        return n
+
+    def retransmit(self, dst: int, src: int, tag: int, fault=None) -> int:
+        """Resend the last transmission of an envelope from the send log.
+
+        Models a sender-side resend out of the retained send buffer
+        (same sequence number and checksum, pristine payload — the
+        original fault is not baked in, though ``fault`` may strike the
+        retransmission too).  Returns the payload size in bytes; raises
+        :class:`UnmatchedReceiveError` when nothing was ever sent on the
+        envelope, which is a protocol bug rather than a fault.
+        """
+        key = (dst, src, tag)
+        logged = self._send_log.get(key)
+        if logged is None:
+            raise UnmatchedReceiveError(
+                f"deadlock: rank {dst} requested retransmission from rank "
+                f"{src} tag {tag} but nothing was ever sent on that envelope"
+            )
+        msg = _Message(logged.payload, logged.checksum, logged.seq)
+        self.sent_messages += 1
+        self.retransmissions += 1
+        self.sent_bytes += msg.payload.nbytes
+        self.bytes_by_pair[(src, dst)] += msg.payload.nbytes
+        self._transmit(key, msg, fault)
+        return int(msg.payload.nbytes)
+
+    def logged_nbytes(self, dst: int, src: int, tag: int) -> int:
+        """Payload size of the last transmission on an envelope (0 if none)."""
+        logged = self._send_log.get((dst, src, tag))
+        return 0 if logged is None else int(logged.payload.nbytes)
+
+    def discard_stale(self, dst: int, src: int, tag: int, below_seq: int) -> int:
+        """Drop leading mailbox messages with ``seq < below_seq``.
+
+        Used by the exchange layer to clear already-consumed duplicates
+        (recognised by their stale sequence numbers) before the
+        end-of-solve drain check.
+        """
+        box = self._mailboxes.get((dst, src, tag))
+        n = 0
+        while box and box[0].seq < below_seq:
+            box.popleft()
+            n += 1
+        return n
 
     def waitall(self, requests: list) -> list:
         """Complete a batch of requests, returning receive payloads."""
@@ -108,13 +257,18 @@ class SimComm:
     # collectives (lockstep driver supplies all ranks' values at once)
     # ------------------------------------------------------------------
     def allreduce_max(self, values: list[float]) -> float:
-        """MAX all-reduce over one contribution per rank."""
+        """MAX all-reduce over one contribution per rank.
+
+        NaN-propagating (``np.max``): a poisoned local residual must
+        surface globally for the solver's health checks, exactly as an
+        ``MPI_MAX`` over a NaN does on real systems.
+        """
         if len(values) != self.size:
             raise ValueError(
                 f"allreduce needs one value per rank: got {len(values)}, "
                 f"size {self.size}"
             )
-        return float(max(values))
+        return float(np.max(values))
 
     def allreduce_sum(self, values: list[float]) -> float:
         """SUM all-reduce over one contribution per rank."""
@@ -128,12 +282,47 @@ class SimComm:
     # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
+    def in_flight(self) -> dict[tuple[int, int, int], int]:
+        """``{(dst, src, tag): pending message count}``, delayed included."""
+        out: dict[tuple[int, int, int], int] = {}
+        for key, box in self._mailboxes.items():
+            if box:
+                out[key] = len(box)
+        for key, parked in self._delayed.items():
+            if parked:
+                out[key] = out.get(key, 0) + len(parked)
+        return out
+
+    def reset_in_flight(self) -> int:
+        """Discard every undelivered message (mailboxes and delay queues).
+
+        The recovery path calls this after an unrecoverable exchange
+        fault before rolling back — the analogue of revoking and
+        re-creating a communicator so stale traffic from the aborted
+        cycle cannot be mistaken for fresh data.  Returns the number of
+        messages discarded.
+        """
+        n = sum(len(b) for b in self._mailboxes.values())
+        n += sum(len(p) for p in self._delayed.values())
+        self._mailboxes.clear()
+        self._delayed.clear()
+        return n
+
     def assert_drained(self) -> None:
         """Raise if any posted message was never received.
 
         Called at the end of a solve: leftover messages mean mismatched
-        send/receive bookkeeping even though results looked right.
+        send/receive bookkeeping even though results looked right.  The
+        error names every leaking mailbox by destination, source, and
+        tag so the offending envelope is identifiable.
         """
-        leftovers = {k: len(v) for k, v in self._mailboxes.items() if v}
+        leftovers = self.in_flight()
         if leftovers:
-            raise RuntimeError(f"undelivered messages remain: {leftovers}")
+            detail = "; ".join(
+                f"dst={dst} src={src} tag={tag}: {n} pending"
+                for (dst, src, tag), n in sorted(leftovers.items())
+            )
+            raise RuntimeError(
+                f"undelivered messages remain in {len(leftovers)} "
+                f"mailbox(es): {detail}"
+            )

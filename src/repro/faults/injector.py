@@ -1,0 +1,143 @@
+"""Applies a :class:`~repro.faults.plan.FaultPlan` during a solve.
+
+The injector is consulted at two hook points:
+
+* :meth:`FaultInjector.message_action` — by
+  :class:`~repro.comm.exchange.HaloExchange` before every posted send
+  (including retransmissions, so persistent specs can defeat retries);
+* :meth:`FaultInjector.kernel_sdc` — by
+  :class:`~repro.gmg.vcycle.VCycle` after every smoothing visit, to
+  poison one interior cell of the just-written solution field.
+
+The injector owns the *when are we* context (the current V-cycle index,
+advanced by the resilient driver) and a hit counter per spec; all
+randomness (the corrupted byte position, the poisoned cell) comes from
+one generator seeded at construction, so a given plan injects an
+identical fault sequence on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.instrument import Recorder
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """The comm layer's marching orders for one message.
+
+    ``corrupt_byte``/``corrupt_bit`` locate the bit flip for
+    ``kind == 'corrupt'`` (chosen by the injector so the transport stays
+    mechanism-only).
+    """
+
+    kind: str  # 'drop' | 'corrupt' | 'duplicate' | 'delay'
+    corrupt_byte: int = 0
+    corrupt_bit: int = 0
+
+
+class FaultInjector:
+    """Stateful executor of a fault plan for one solve."""
+
+    def __init__(
+        self, plan: FaultPlan, recorder: Recorder | None = None, seed: int = 0
+    ) -> None:
+        self.plan = plan
+        self.recorder = recorder
+        self.vcycle = 0
+        self._rng = np.random.default_rng(seed)
+        self._hits_left = [spec.max_hits for spec in plan]
+        self.injected = 0
+
+    # ------------------------------------------------------------------
+    def begin_vcycle(self, index: int) -> None:
+        """Advance the solve clock (cycle 0 is the initial residual)."""
+        self.vcycle = int(index)
+
+    def _consume(self, idx: int) -> None:
+        if self._hits_left[idx] is not None:
+            self._hits_left[idx] -= 1
+        self.injected += 1
+
+    def _armed(self, idx: int) -> bool:
+        left = self._hits_left[idx]
+        return left is None or left > 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every bounded spec has fired its full budget."""
+        return all(left is not None and left == 0 for left in self._hits_left)
+
+    # ------------------------------------------------------------------
+    # hook points
+    # ------------------------------------------------------------------
+    def message_action(
+        self,
+        level: int,
+        src: int,
+        dst: int,
+        tag: int,
+        direction: tuple[int, int, int],
+        nbytes: int,
+    ) -> FaultAction | None:
+        """Fault to apply to the message being posted, if any."""
+        for idx, spec in enumerate(self.plan):
+            if not self._armed(idx):
+                continue
+            if not spec.matches_message(self.vcycle, level, src, dst, direction):
+                continue
+            self._consume(idx)
+            action = FaultAction(spec.kind)
+            if spec.kind == "corrupt":
+                action = FaultAction(
+                    "corrupt",
+                    corrupt_byte=int(self._rng.integers(max(nbytes, 1))),
+                    corrupt_bit=int(self._rng.integers(8)),
+                )
+            if self.recorder is not None:
+                self.recorder.fault(
+                    f"inject_{spec.kind}",
+                    vcycle=self.vcycle,
+                    level=level,
+                    rank=dst,
+                    src=src,
+                    tag=tag,
+                    nbytes=nbytes,
+                )
+            return action
+        return None
+
+    def kernel_sdc(self, level: int, rank: int, field) -> bool:
+        """Poison one interior cell of ``field`` if an sdc spec matches.
+
+        ``field`` is a :class:`~repro.bricks.bricked_array.BrickedArray`
+        (the smoother's output ``x``); the poisoned cell is drawn from
+        the injector's seeded generator.
+        """
+        for idx, spec in enumerate(self.plan):
+            if not self._armed(idx):
+                continue
+            if not spec.matches_kernel(self.vcycle, level, rank):
+                continue
+            self._consume(idx)
+            self._poison(field, spec)
+            if self.recorder is not None:
+                self.recorder.fault(
+                    "inject_sdc",
+                    vcycle=self.vcycle,
+                    level=level,
+                    rank=rank,
+                    detail=f"value={spec.sdc_value!r}",
+                )
+            return True
+        return False
+
+    def _poison(self, field, spec: FaultSpec) -> None:
+        dense = field.to_ijk()
+        flat_index = int(self._rng.integers(dense.size))
+        dense.flat[flat_index] = spec.sdc_value
+        field.set_interior(dense)

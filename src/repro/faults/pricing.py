@@ -1,0 +1,84 @@
+"""Prices resilience overhead with the machine and network models.
+
+The recovery machinery records *what happened* (retries, checkpoints,
+rollbacks) in the :class:`~repro.instrument.Recorder`; this module
+converts those events into seconds on a concrete machine so fault
+tolerance can be reported in the same units as the paper's figures:
+
+* a retry costs a detection timeout (exponential backoff) plus the
+  retransmitted message, via
+  :func:`repro.machines.network.retransmit_time`;
+* a checkpoint streams the finest-level solution through HBM twice
+  (read + write of the device-resident snapshot);
+* a rollback costs the restore copy plus the re-executed V-cycles,
+  priced by :class:`~repro.harness.vcycle_sim.TimedSolve`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.instrument import Recorder
+from repro.machines import network
+from repro.machines.specs import MachineSpec
+
+#: HBM passes per checkpoint/restore of the snapshot (read + write).
+CHECKPOINT_RW_PASSES = 2
+
+
+def checkpoint_seconds(machine: MachineSpec, nbytes: int) -> float:
+    """One device-side snapshot (or restore) of ``nbytes`` of state."""
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative: {nbytes}")
+    return CHECKPOINT_RW_PASSES * nbytes / (machine.gpu.hbm_measured_gbs * 1e9)
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Resilience overhead of one solve, in seconds by mechanism."""
+
+    retries_s: float
+    checkpoints_s: float
+    rollbacks_s: float
+    recompute_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.retries_s + self.checkpoints_s + self.rollbacks_s + self.recompute_s
+
+
+def resilience_overhead(
+    machine: MachineSpec,
+    recorder: Recorder,
+    num_nodes: int = 1,
+    ranks_per_node: int | None = None,
+    recomputed_vcycles: int = 0,
+    vcycle_seconds: float = 0.0,
+) -> OverheadBreakdown:
+    """Price one solve's recorded fault events on ``machine``.
+
+    ``recomputed_vcycles`` is ``executed_vcycles - num_vcycles`` of the
+    :class:`~repro.gmg.solver.SolveResult`; ``vcycle_seconds`` is the
+    modelled time of one V-cycle (e.g. ``TimedSolve.time_per_vcycle``)
+    used to price that re-executed work.
+    """
+    retries_s = sum(
+        network.retransmit_time(
+            machine, ev.nbytes, max(ev.attempt, 1), num_nodes, ranks_per_node
+        )
+        for ev in recorder.faults_of("retry")
+    )
+    checkpoints_s = sum(
+        checkpoint_seconds(machine, ev.nbytes)
+        for ev in recorder.faults_of("checkpoint")
+    )
+    rollbacks_s = sum(
+        checkpoint_seconds(machine, ev.nbytes)
+        for ev in recorder.faults_of("rollback")
+    )
+    return OverheadBreakdown(
+        retries_s=retries_s,
+        checkpoints_s=checkpoints_s,
+        rollbacks_s=rollbacks_s,
+        recompute_s=max(recomputed_vcycles, 0) * vcycle_seconds,
+    )

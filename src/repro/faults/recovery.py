@@ -1,0 +1,286 @@
+"""Detection, checkpoint/rollback, and graceful degradation.
+
+:class:`ResilientDriver` wraps the V-cycle residual loop (Algorithm 1)
+with a fault-management state machine:
+
+* **detect** — comm-layer anomalies surface as
+  :class:`~repro.comm.exchange.ExchangeFaultError` once the exchange's
+  retry budget is spent; numeric anomalies surface in the residual loop
+  as NaN/Inf (silent data corruption reaching the convergence check),
+  divergence (residual blowing past its best value), or stagnation;
+* **retry** — handled inside :class:`~repro.comm.exchange.HaloExchange`
+  (checksum validation plus bounded retransmission), invisible here
+  except through the recorder;
+* **rollback** — the finest-level solution is checkpointed every
+  ``checkpoint_interval`` clean V-cycles; on an unrecoverable anomaly
+  the solve restores the checkpoint, discards in-flight messages, and
+  re-runs the lost cycles (deterministically, since the injector's
+  one-shot specs have already fired);
+* **degrade** — a bounded ``recovery_budget`` of rollbacks; once spent,
+  the solve stops with ``status='failed_faults'`` instead of raising.
+
+The driver performs exactly the same numeric operations per cycle as
+:meth:`repro.gmg.vcycle.VCycle.solve`, so with no faults injected its
+results are bit-identical to the plain path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.exchange import ExchangeFaultError
+from repro.faults.injector import FaultInjector
+from repro.instrument import Recorder
+
+STATUS_CONVERGED = "converged"
+STATUS_MAX_VCYCLES = "max_vcycles"
+STATUS_DIVERGED = "diverged"
+STATUS_FAILED_FAULTS = "failed_faults"
+
+SOLVE_STATUSES = (
+    STATUS_CONVERGED,
+    STATUS_MAX_VCYCLES,
+    STATUS_DIVERGED,
+    STATUS_FAILED_FAULTS,
+)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs of the detect → retry → rollback → degrade pipeline."""
+
+    #: retransmission attempts per receive before the exchange gives up
+    max_retries: int = 3
+    #: clean V-cycles between finest-level solution checkpoints
+    checkpoint_interval: int = 2
+    #: rollbacks allowed before degrading to ``failed_faults``
+    recovery_budget: int = 3
+    #: residual exceeding ``divergence_factor × best-so-far`` is an anomaly
+    divergence_factor: float = 1e3
+    #: cycles with < ``stagnation_tol`` relative improvement → stagnation
+    stagnation_window: int = 8
+    stagnation_tol: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 1:
+            raise ValueError(f"max_retries must be positive: {self.max_retries}")
+        if self.checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be positive: {self.checkpoint_interval}"
+            )
+        if self.recovery_budget < 0:
+            raise ValueError(
+                f"recovery_budget must be non-negative: {self.recovery_budget}"
+            )
+        if self.divergence_factor <= 1.0:
+            raise ValueError(
+                f"divergence_factor must exceed 1: {self.divergence_factor}"
+            )
+        if self.stagnation_window < 2:
+            raise ValueError(
+                f"stagnation_window must be at least 2: {self.stagnation_window}"
+            )
+
+
+@dataclass
+class _Checkpoint:
+    """Finest-level solution snapshot plus the history that led to it."""
+
+    cycle: int
+    x_by_rank: list[np.ndarray]
+    history: list[float]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(x.nbytes for x in self.x_by_rank)
+
+
+@dataclass
+class ResilientOutcome:
+    """What the driver hands back to :class:`~repro.gmg.solver.GMGSolver`."""
+
+    status: str
+    residual_history: list[float]
+    executed_vcycles: int
+    rollbacks: int = 0
+
+    @property
+    def converged(self) -> bool:
+        return self.status == STATUS_CONVERGED
+
+    @property
+    def clean_vcycles(self) -> int:
+        """Cycles surviving in the committed history (rolled-back work
+        excluded)."""
+        return max(len(self.residual_history) - 1, 0)
+
+
+class ResilientDriver:
+    """Runs Algorithm 1 under the fault model.
+
+    Parameters
+    ----------
+    vcycle:
+        The :class:`~repro.gmg.vcycle.VCycle` to drive.
+    config:
+        A :class:`ResilienceConfig`.
+    injector:
+        The active :class:`~repro.faults.injector.FaultInjector`, or
+        ``None`` when only hardening (no injection) is wanted.
+    recorder:
+        Shared :class:`~repro.instrument.Recorder` for fault events.
+    comm:
+        The :class:`~repro.comm.simmpi.SimComm`, or ``None`` for
+        single-rank runs (needed to purge in-flight messages on
+        rollback).
+    """
+
+    def __init__(
+        self,
+        vcycle,
+        config: ResilienceConfig,
+        injector: FaultInjector | None = None,
+        recorder: Recorder | None = None,
+        comm=None,
+    ) -> None:
+        self.vcycle = vcycle
+        self.config = config
+        self.injector = injector
+        self.recorder = recorder
+        self.comm = comm
+
+    # ------------------------------------------------------------------
+    def _fault(self, kind: str, vcycle: int, **kw) -> None:
+        if self.recorder is not None:
+            self.recorder.fault(kind, vcycle=vcycle, **kw)
+
+    def _snapshot(self, cycle: int, history: list[float]) -> _Checkpoint:
+        ckpt = _Checkpoint(
+            cycle=cycle,
+            x_by_rank=[
+                levels[0].x.data.copy() for levels in self.vcycle.rank_levels
+            ],
+            history=list(history),
+        )
+        self._fault("checkpoint", cycle, nbytes=ckpt.nbytes)
+        return ckpt
+
+    def _restore(self, ckpt: _Checkpoint, at_cycle: int, reason: str) -> list[float]:
+        for levels, saved in zip(self.vcycle.rank_levels, ckpt.x_by_rank):
+            levels[0].x.data[...] = saved
+        purged = 0
+        if self.comm is not None:
+            purged = self.comm.reset_in_flight()
+            if purged:
+                self._fault("purge", at_cycle, detail=f"{purged} messages")
+        self._fault(
+            "rollback",
+            at_cycle,
+            nbytes=ckpt.nbytes,
+            detail=f"{reason}; restored checkpoint of cycle {ckpt.cycle}",
+        )
+        return list(ckpt.history)
+
+    def _begin_vcycle(self, index: int) -> None:
+        if self.injector is not None:
+            self.injector.begin_vcycle(index)
+
+    def _stagnated(self, history: list[float]) -> bool:
+        w = self.config.stagnation_window
+        if len(history) <= w:
+            return False
+        old, new = history[-1 - w], history[-1]
+        if old <= 0:
+            return False
+        return (old - new) / old < self.config.stagnation_tol
+
+    # ------------------------------------------------------------------
+    def solve(self, tol: float, max_vcycles: int) -> ResilientOutcome:
+        """Run to convergence, ``max_vcycles``, or fault exhaustion.
+
+        Never raises on injected faults: every anomaly is detected,
+        retried/rolled back while budget remains, and converted into a
+        structured status otherwise.
+        """
+        cfg = self.config
+        self._begin_vcycle(0)
+        try:
+            history = [self.vcycle.max_norm_residual()]
+        except ExchangeFaultError as exc:
+            self._fault("give_up", 0, level=exc.level, rank=exc.rank,
+                        src=exc.src, detail="initial residual unavailable")
+            return ResilientOutcome(STATUS_FAILED_FAULTS, [], 0)
+        executed = 0
+        rollbacks = 0
+        budget = cfg.recovery_budget
+        ckpt = self._snapshot(0, history)
+        while True:
+            if history[-1] <= tol:
+                return ResilientOutcome(STATUS_CONVERGED, history, executed, rollbacks)
+            if len(history) - 1 >= max_vcycles:
+                return ResilientOutcome(
+                    STATUS_MAX_VCYCLES, history, executed, rollbacks
+                )
+            executed += 1
+            self._begin_vcycle(executed)
+            anomaly = None
+            try:
+                if self.injector is not None:
+                    # Injected NaN/Inf propagating through the stencil
+                    # kernels is the *point* of the SDC model, not a
+                    # numpy warning condition.
+                    with np.errstate(invalid="ignore", over="ignore"):
+                        self.vcycle.run()
+                        res = self.vcycle.max_norm_residual()
+                else:
+                    self.vcycle.run()
+                    res = self.vcycle.max_norm_residual()
+            except ExchangeFaultError as exc:
+                anomaly = (
+                    f"exchange fault at level {exc.level} "
+                    f"(rank {exc.rank} ← rank {exc.src})"
+                )
+                res = math.nan
+            if anomaly is None and not math.isfinite(res):
+                anomaly = f"non-finite residual {res!r}"
+                self._fault("detect_sdc", executed, detail=anomaly)
+            best = min(history)
+            if anomaly is None and best > 0 and res > cfg.divergence_factor * best:
+                anomaly = (
+                    f"residual {res:.3e} exceeds {cfg.divergence_factor:g}x "
+                    f"best {best:.3e}"
+                )
+                self._fault("detect_divergence", executed, detail=anomaly)
+                if self.injector is None:
+                    # Plain divergence with no faults in play is a
+                    # numerics problem; rolling back cannot fix it.
+                    return ResilientOutcome(
+                        STATUS_DIVERGED, history, executed, rollbacks
+                    )
+            if anomaly is not None:
+                if budget <= 0:
+                    self._fault("give_up", executed, detail=anomaly)
+                    return ResilientOutcome(
+                        STATUS_FAILED_FAULTS, history, executed, rollbacks
+                    )
+                budget -= 1
+                rollbacks += 1
+                history = self._restore(ckpt, executed, anomaly)
+                continue
+            history.append(res)
+            if self._stagnated(history):
+                self._fault(
+                    "detect_stagnation",
+                    executed,
+                    detail=(
+                        f"<{cfg.stagnation_tol:g} relative progress over "
+                        f"{cfg.stagnation_window} cycles"
+                    ),
+                )
+                return ResilientOutcome(STATUS_DIVERGED, history, executed, rollbacks)
+            clean = len(history) - 1
+            if clean - ckpt.cycle >= cfg.checkpoint_interval:
+                ckpt = self._snapshot(clean, history)

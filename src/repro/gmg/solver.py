@@ -137,36 +137,90 @@ class SolverConfig:
 
 @dataclass
 class SolveResult:
-    """Outcome of :meth:`GMGSolver.solve`."""
+    """Outcome of :meth:`GMGSolver.solve`.
+
+    ``status`` is one of ``converged`` / ``max_vcycles`` / ``diverged``
+    / ``failed_faults`` (see :mod:`repro.faults.recovery`); anomalies
+    under fault injection become statuses, never unhandled exceptions.
+    ``num_vcycles`` counts the cycles in the committed residual history;
+    ``executed_vcycles`` additionally counts work discarded by
+    checkpoint rollbacks (equal unless the solve recovered from faults).
+    """
 
     converged: bool
     num_vcycles: int
     residual_history: list[float]
     recorder: Recorder = field(repr=False)
+    status: str = ""
+    executed_vcycles: int = -1
+    rollbacks: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.status:
+            self.status = "converged" if self.converged else "max_vcycles"
+        if self.executed_vcycles < 0:
+            self.executed_vcycles = self.num_vcycles
 
     @property
     def final_residual(self) -> float:
+        """Last committed residual (NaN when the history is empty)."""
+        if not self.residual_history:
+            return float("nan")
         return self.residual_history[-1]
 
     @property
     def convergence_factor(self) -> float:
-        """Geometric-mean residual reduction per V-cycle."""
-        if self.num_vcycles == 0:
+        """Geometric-mean residual reduction per V-cycle.
+
+        1.0 when no cycles ran — including a solve that stopped on the
+        initial residual (already below tolerance) — since no reduction
+        was performed.
+        """
+        if self.num_vcycles <= 0 or len(self.residual_history) < 2:
             return 1.0
         first, last = self.residual_history[0], self.residual_history[-1]
         if first <= 0:
             return 0.0
         return (last / first) ** (1.0 / self.num_vcycles)
 
+    @property
+    def fault_counts(self) -> dict[str, int]:
+        """Injected/detected/recovery fault events by kind (see Recorder)."""
+        return self.recorder.fault_counts()
+
 
 class GMGSolver:
-    """Brick-based geometric multigrid on the paper's model problem."""
+    """Brick-based geometric multigrid on the paper's model problem.
 
-    def __init__(self, config: SolverConfig) -> None:
+    Parameters
+    ----------
+    config:
+        The :class:`SolverConfig`.
+    resilience:
+        Optional :class:`~repro.faults.recovery.ResilienceConfig`
+        activating the hardened solve path (checksummed exchanges,
+        health checks, checkpoint/rollback).  Implied by ``fault_plan``.
+    fault_plan:
+        Optional :class:`~repro.faults.plan.FaultPlan` of faults to
+        inject; anomalies are detected and recovered (or degrade to a
+        ``failed_faults`` status) rather than raising.
+    """
+
+    def __init__(self, config: SolverConfig, resilience=None, fault_plan=None) -> None:
         from repro.gmg.boundary import BoundaryCondition
 
+        if fault_plan is not None and resilience is None:
+            from repro.faults.recovery import ResilienceConfig
+
+            resilience = ResilienceConfig()
         self.config = config
+        self.resilience = resilience
         self.recorder = Recorder()
+        self.injector = None
+        if fault_plan is not None and not fault_plan.empty:
+            from repro.faults.injector import FaultInjector
+
+            self.injector = FaultInjector(fault_plan, self.recorder)
         self.boundary = BoundaryCondition(config.boundary)
         self.topology = CartTopology(
             config.rank_dims,
@@ -204,7 +258,17 @@ class GMGSolver:
             else:
                 self.exchangers.append(
                     HaloExchange(
-                        grid, self.topology, self.comm, self.recorder, self.boundary
+                        grid,
+                        self.topology,
+                        self.comm,
+                        self.recorder,
+                        self.boundary,
+                        injector=self.injector,
+                        max_retries=(
+                            self.resilience.max_retries
+                            if self.resilience is not None
+                            else 3
+                        ),
                     )
                 )
 
@@ -232,6 +296,7 @@ class GMGSolver:
             allreduce_max=self.comm.allreduce_max if self.comm is not None else None,
             allreduce_sum=self.comm.allreduce_sum if self.comm is not None else None,
             topology=self.topology,
+            fault_injector=self.injector,
         )
 
     def _init_rhs(self) -> None:
@@ -246,15 +311,54 @@ class GMGSolver:
 
     # ------------------------------------------------------------------
     def solve(self) -> SolveResult:
-        """Run Algorithm 1 to convergence (or ``max_vcycles``)."""
-        history = self.vcycle.solve(self.config.tol, self.config.max_vcycles)
-        if self.comm is not None:
-            self.comm.assert_drained()
-        return SolveResult(
-            converged=history[-1] <= self.config.tol,
-            num_vcycles=len(history) - 1,
-            residual_history=history,
+        """Run Algorithm 1 to convergence (or ``max_vcycles``).
+
+        With ``resilience``/``fault_plan`` configured, runs the hardened
+        detect → retry → rollback → degrade loop instead; the two paths
+        perform identical numeric operations when no fault fires, so
+        results are bit-identical in the fault-free case.
+        """
+        if self.resilience is None and self.injector is None:
+            history = self.vcycle.solve(self.config.tol, self.config.max_vcycles)
+            if self.comm is not None:
+                self.comm.assert_drained()
+            return SolveResult(
+                converged=history[-1] <= self.config.tol,
+                num_vcycles=len(history) - 1,
+                residual_history=history,
+                recorder=self.recorder,
+            )
+        return self._solve_resilient()
+
+    def _solve_resilient(self) -> SolveResult:
+        from repro.faults.recovery import STATUS_FAILED_FAULTS, ResilientDriver
+
+        driver = ResilientDriver(
+            self.vcycle,
+            self.resilience,
+            injector=self.injector,
             recorder=self.recorder,
+            comm=self.comm,
+        )
+        outcome = driver.solve(self.config.tol, self.config.max_vcycles)
+        if self.comm is not None:
+            if outcome.status == STATUS_FAILED_FAULTS:
+                # A failed solve may abort mid-exchange; discard the
+                # in-flight traffic instead of asserting a clean drain.
+                self.comm.reset_in_flight()
+            else:
+                for ex in self.exchangers:
+                    if isinstance(ex, HaloExchange):
+                        ex.drain_stale()
+                self.comm.assert_drained()
+        return SolveResult(
+            converged=outcome.converged,
+            num_vcycles=outcome.clean_vcycles,
+            residual_history=outcome.residual_history,
+            recorder=self.recorder,
+            status=outcome.status,
+            executed_vcycles=outcome.executed_vcycles,
+            rollbacks=outcome.rollbacks,
         )
 
     def solution(self) -> np.ndarray:

@@ -28,6 +28,8 @@ from __future__ import annotations
 import math
 from typing import Protocol, Sequence
 
+import numpy as np
+
 from repro.bricks.bricked_array import BrickedArray
 from repro.gmg import operators as ops
 from repro.gmg.bottom import BottomSolver, RelaxationBottomSolver
@@ -101,6 +103,7 @@ class VCycle:
         allreduce_sum=None,
         topology=None,
         apply_op_fn=None,
+        fault_injector=None,
     ) -> None:
         if not rank_levels or not rank_levels[0]:
             raise ValueError("need at least one rank with at least one level")
@@ -126,7 +129,11 @@ class VCycle:
         self.bottom_solver = bottom_solver or RelaxationBottomSolver(bottom_smooths)
         self.cycle = cycle
         self.topology = topology
-        self._allreduce_max = allreduce_max or (lambda values: max(values))
+        #: optional FaultInjector poisoning kernel outputs (SDC model)
+        self.fault_injector = fault_injector
+        # NaN-propagating default (np.max) so a poisoned local residual
+        # surfaces in the health checks of single-rank runs too.
+        self._allreduce_max = allreduce_max or (lambda values: float(np.max(values)))
         self.allreduce_sum = allreduce_sum or (lambda values: sum(values))
         self.apply_op_fn = apply_op_fn or ops.apply_op
         self._validate_ca_budget()
@@ -179,6 +186,12 @@ class VCycle:
             for lv in levels:
                 self.smoother.iterate(lv, with_residual, self.recorder)
             ghost_valid -= per_iter
+        if self.fault_injector is not None:
+            # Silent-data-corruption model: the smoother "wrote" a bad
+            # value into its output field on whichever ranks the plan
+            # targets at this (vcycle, level).
+            for rank, lv in enumerate(levels):
+                self.fault_injector.kernel_sdc(lev, rank, lv.x)
 
     # ------------------------------------------------------------------
     def _restrict(self, lev: int) -> None:

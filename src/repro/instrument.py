@@ -37,6 +37,53 @@ class MessageEvent:
     self_message: bool  # single-rank periodic wrap (no NIC traversal)
 
 
+#: Fault-event kinds: ``inject_*`` are produced by the fault injector,
+#: ``detect_*`` by the detection layers (checksums, shape validation,
+#: residual-loop health checks), and the rest by the recovery machinery.
+FAULT_KINDS = (
+    "inject_drop",
+    "inject_corrupt",
+    "inject_duplicate",
+    "inject_delay",
+    "inject_sdc",
+    "detect_drop",
+    "detect_corrupt",
+    "detect_duplicate",
+    "detect_delay",
+    "detect_sdc",
+    "detect_divergence",
+    "detect_stagnation",
+    "retry",
+    "retransmit",
+    "checkpoint",
+    "rollback",
+    "purge",
+    "give_up",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, detection, or recovery action.
+
+    ``level``/``rank``/``src``/``tag`` are ``-1`` when not applicable
+    (e.g. a rollback is a solve-wide action, not a per-message one).
+    ``attempt`` numbers retries within one receive (1-based) so the
+    pricing layer can apply exponential backoff; ``nbytes`` sizes
+    retransmissions and checkpoints for the same purpose.
+    """
+
+    kind: str
+    vcycle: int = -1
+    level: int = -1
+    rank: int = -1
+    src: int = -1
+    tag: int = -1
+    nbytes: int = 0
+    attempt: int = 0
+    detail: str = ""
+
+
 @dataclass
 class Recorder:
     """Accumulates kernel and message events for one solve."""
@@ -45,6 +92,7 @@ class Recorder:
     messages: list[MessageEvent] = field(default_factory=list)
     exchanges: defaultdict = field(default_factory=lambda: defaultdict(int))
     reductions: int = 0
+    faults: list[FaultEvent] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # event entry points
@@ -69,6 +117,24 @@ class Recorder:
 
     def reduction(self) -> None:
         self.reductions += 1
+
+    def fault(
+        self,
+        kind: str,
+        vcycle: int = -1,
+        level: int = -1,
+        rank: int = -1,
+        src: int = -1,
+        tag: int = -1,
+        nbytes: int = 0,
+        attempt: int = 0,
+        detail: str = "",
+    ) -> None:
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}")
+        self.faults.append(
+            FaultEvent(kind, vcycle, level, rank, src, tag, nbytes, attempt, detail)
+        )
 
     # ------------------------------------------------------------------
     # aggregation
@@ -110,8 +176,36 @@ class Recorder:
             ev.points for ev in self.kernels if ops is None or ev.op in ops
         )
 
+    def fault_counts(self) -> dict[str, int]:
+        """``{fault kind: event count}`` (kinds with zero events omitted)."""
+        out: dict[str, int] = defaultdict(int)
+        for ev in self.faults:
+            out[ev.kind] += 1
+        return dict(out)
+
+    def faults_of(self, *kinds: str) -> list[FaultEvent]:
+        """Fault events restricted to the given kinds."""
+        return [ev for ev in self.faults if ev.kind in kinds]
+
+    @property
+    def injected_faults(self) -> int:
+        return sum(1 for ev in self.faults if ev.kind.startswith("inject_"))
+
+    @property
+    def detected_faults(self) -> int:
+        return sum(1 for ev in self.faults if ev.kind.startswith("detect_"))
+
+    @property
+    def retries(self) -> int:
+        return sum(1 for ev in self.faults if ev.kind == "retry")
+
+    @property
+    def rollbacks(self) -> int:
+        return sum(1 for ev in self.faults if ev.kind == "rollback")
+
     def clear(self) -> None:
         self.kernels.clear()
         self.messages.clear()
         self.exchanges.clear()
         self.reductions = 0
+        self.faults.clear()

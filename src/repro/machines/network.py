@@ -151,6 +151,36 @@ def exchange_time(
     return t
 
 
+#: Detection timeout before the first retransmission, as a multiple of
+#: the per-message overhead (the receiver must out-wait normal jitter
+#: before declaring a message lost).
+RETRY_TIMEOUT_MULTIPLE = 20.0
+
+
+def retransmit_time(
+    machine: MachineSpec,
+    nbytes: int,
+    attempt: int = 1,
+    num_nodes: int = 1,
+    ranks_per_node: int | None = None,
+) -> float:
+    """Seconds one retry of a lost/corrupt message costs (timeout + resend).
+
+    The detection timeout doubles per attempt (exponential backoff on
+    the receiver's retry timer); the resend itself is an ordinary
+    point-to-point message.  This is how the resilience layer's retries
+    are priced in the same units as the paper's exchange model.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be positive: {attempt}")
+    timeout = (
+        RETRY_TIMEOUT_MULTIPLE
+        * message_overhead(machine, nbytes, num_nodes)
+        * 2.0 ** (attempt - 1)
+    )
+    return timeout + message_time(machine, nbytes, False, num_nodes, ranks_per_node)
+
+
 def allreduce_time(machine: MachineSpec, num_ranks: int, num_nodes: int = 1) -> float:
     """A MAX all-reduce of one double (Algorithm 1's convergence check).
 

@@ -139,6 +139,47 @@ class TestHaloExchange:
         with pytest.raises(ValueError):
             ex.exchange(0, [[f, g], [f]])
 
+    def test_incompatible_field_grid_rejected(self, rng):
+        grid = BrickGrid((2, 2, 2), 4)
+        topo = CartTopology((2, 1, 1))
+        ex = HaloExchange(grid, topo, SimComm(2))
+        wrong = BrickedArray.zeros(BrickGrid((4, 4, 4), 2))
+        ok = BrickedArray.from_ijk(grid, rng.random((8, 8, 8)))
+        with pytest.raises(ValueError, match="incompatible"):
+            ex.exchange(0, [[ok], [wrong]])
+
+    def test_ghost_shape_mismatch_names_rank_direction_level(self, rng):
+        from repro.bricks.brick_grid import NEIGHBOR_DIRECTIONS, direction_index
+
+        grid = BrickGrid((2, 2, 2), 4)
+        topo = CartTopology((2, 1, 1))
+        comm = SimComm(2)
+        ex = HaloExchange(grid, topo, comm)
+        fields = make_rank_fields(topo, grid, rng.random((16, 8, 8)))
+        # smuggle a wrong-shaped payload onto the first envelope rank 0
+        # will read; FIFO ordering guarantees it is matched first
+        d0 = NEIGHBOR_DIRECTIONS[0]
+        src = topo.neighbor(0, d0)
+        tag = direction_index(tuple(-c for c in d0))
+        comm.isend(src, 0, tag, np.zeros((1, 1, 1)))
+        with pytest.raises(RuntimeError, match="ghost region shape mismatch") as exc:
+            ex.exchange(0, [[f] for f in fields])
+        assert "rank 0" in str(exc.value)
+        assert f"direction {d0}" in str(exc.value)
+        assert "level 0" in str(exc.value)
+
+    def test_unmatched_receive_names_direction_and_level(self):
+        grid = BrickGrid((2, 2, 2), 4)
+        topo = CartTopology((2, 1, 1))
+        ex = HaloExchange(grid, topo, SimComm(2))
+        from repro.comm import UnmatchedReceiveError
+
+        with pytest.raises(UnmatchedReceiveError) as exc:
+            ex._receive(2, 0, src=1, tag=9, d=(1, 0, 0),
+                        expected_shape=(1, 4, 4, 4, 4))
+        assert "direction (1, 0, 0) at level 2" in str(exc.value)
+        assert "deadlock" in str(exc.value)
+
     def test_exchange_with_rhs_field_data(self):
         """Exchange the actual model-problem RHS across 8 ranks."""
         grid = BrickGrid((2, 2, 2), 4)

@@ -1,0 +1,356 @@
+"""Fault injection, detection, recovery, and degradation.
+
+Acceptance contract (ISSUE 1): with injection disabled the resilient
+path is bit-identical to the plain path; every injected fault is
+detected; recovery lands on the same converged residual in a
+deterministic number of extra V-cycles; an exhausted recovery budget
+degrades to ``status='failed_faults'`` instead of raising; and the
+recorder's fault/retry/rollback counts match the plan exactly.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    ResilienceConfig,
+    STATUS_FAILED_FAULTS,
+)
+from repro.faults.pricing import checkpoint_seconds, resilience_overhead
+from repro.faults.sweep import (
+    default_config,
+    fault_sweep,
+    render_fault_sweep,
+)
+from repro.gmg import GMGSolver, SolverConfig
+from repro.gmg.solver import SolveResult
+from repro.instrument import Recorder
+from repro.machines import MACHINES
+
+
+def small_config(**overrides) -> SolverConfig:
+    base = dict(
+        global_cells=16,
+        num_levels=2,
+        brick_dim=4,
+        max_smooths=6,
+        bottom_smooths=20,
+        rank_dims=(2, 1, 1),
+    )
+    base.update(overrides)
+    return SolverConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """Fault-free solve of the shared small config."""
+    solver = GMGSolver(small_config())
+    result = solver.solve()
+    return result, solver.solution()
+
+
+class TestFaultPlan:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("meteor")
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            FaultSpec("drop", direction=(0, 0, 0))
+
+    def test_rejects_zero_hits(self):
+        with pytest.raises(ValueError, match="max_hits"):
+            FaultSpec("drop", max_hits=0)
+
+    def test_message_matching(self):
+        spec = FaultSpec("drop", vcycle=2, level=1, src=0, rank=1,
+                         direction=(1, 0, 0))
+        assert spec.matches_message(2, 1, 0, 1, (1, 0, 0))
+        assert not spec.matches_message(3, 1, 0, 1, (1, 0, 0))
+        assert not spec.matches_message(2, 0, 0, 1, (1, 0, 0))
+        assert not spec.matches_message(2, 1, 1, 1, (1, 0, 0))
+        assert not spec.matches_message(2, 1, 0, 0, (1, 0, 0))
+        assert not spec.matches_message(2, 1, 0, 1, (-1, 0, 0))
+
+    def test_vcycle_from_matches_later_cycles(self):
+        spec = FaultSpec("sdc", vcycle_from=3)
+        assert not spec.matches_kernel(2, 0, 0)
+        assert spec.matches_kernel(3, 0, 0)
+        assert spec.matches_kernel(7, 0, 0)
+
+    def test_random_plan_is_seed_deterministic(self):
+        a = FaultPlan.random(7, num_faults=5, num_ranks=4)
+        b = FaultPlan.random(7, num_faults=5, num_ranks=4)
+        assert a == b
+        c = FaultPlan.random(8, num_faults=5, num_ranks=4)
+        assert a != c
+
+    def test_total_planned_hits(self):
+        plan = FaultPlan(specs=(FaultSpec("drop"), FaultSpec("corrupt", max_hits=2)))
+        assert plan.total_planned_hits == 3
+        persistent = plan.with_specs([FaultSpec("drop", max_hits=None)])
+        assert persistent.total_planned_hits is None
+
+
+class TestInjectorDeterminism:
+    def test_exhaustion_and_hit_counting(self):
+        plan = FaultPlan.single("drop", vcycle=1)
+        rec = Recorder()
+        inj = FaultInjector(plan, rec)
+        inj.begin_vcycle(1)
+        assert inj.message_action(0, 0, 1, 3, (1, 0, 0), 64) is not None
+        assert inj.exhausted
+        assert inj.message_action(0, 0, 1, 3, (1, 0, 0), 64) is None
+        assert rec.fault_counts() == {"inject_drop": 1}
+
+    def test_corrupt_action_is_seeded(self):
+        plan = FaultPlan.single("corrupt", vcycle=0)
+        a = FaultInjector(plan, seed=5).message_action(0, 0, 1, 0, (1, 0, 0), 256)
+        b = FaultInjector(plan, seed=5).message_action(0, 0, 1, 0, (1, 0, 0), 256)
+        assert (a.corrupt_byte, a.corrupt_bit) == (b.corrupt_byte, b.corrupt_bit)
+
+
+class TestBitIdenticalWithoutInjection:
+    def test_resilient_path_matches_seed_behavior(self, reference):
+        ref_result, ref_solution = reference
+        solver = GMGSolver(small_config(), resilience=ResilienceConfig())
+        result = solver.solve()
+        assert result.status == "converged"
+        assert result.residual_history == ref_result.residual_history
+        np.testing.assert_array_equal(solver.solution(), ref_solution)
+        assert result.executed_vcycles == result.num_vcycles
+        assert result.rollbacks == 0
+
+
+class TestMessageFaultRecovery:
+    @pytest.mark.parametrize("kind", ["drop", "corrupt", "delay"])
+    def test_retry_recovers_bitwise(self, kind, reference):
+        ref_result, ref_solution = reference
+        plan = FaultPlan.single(kind, vcycle=1, level=0)
+        solver = GMGSolver(small_config(), fault_plan=plan)
+        result = solver.solve()
+        assert result.status == "converged"
+        # retry recovery costs no extra V-cycles and lands bitwise on
+        # the reference solution
+        assert result.num_vcycles == ref_result.num_vcycles
+        assert result.executed_vcycles == ref_result.num_vcycles
+        np.testing.assert_array_equal(solver.solution(), ref_solution)
+        counts = result.fault_counts
+        assert counts[f"inject_{kind}"] == 1
+        assert counts[f"detect_{kind}"] == 1
+        assert counts["retry"] == 1
+        if kind != "delay":  # a delayed message needs no retransmission
+            assert counts["retransmit"] == 1
+
+    def test_duplicate_discarded_and_drained(self, reference):
+        ref_result, ref_solution = reference
+        plan = FaultPlan.single("duplicate", vcycle=1, level=0)
+        solver = GMGSolver(small_config(), fault_plan=plan)
+        result = solver.solve()
+        assert result.status == "converged"
+        counts = result.fault_counts
+        assert counts["inject_duplicate"] == 1
+        assert counts["detect_duplicate"] == 1
+        assert "retry" not in counts
+        np.testing.assert_array_equal(solver.solution(), ref_solution)
+        # solve() already drained: no undelivered messages may remain
+        solver.comm.assert_drained()
+
+    def test_counts_match_plan_exactly(self, reference):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec("drop", vcycle=1, level=0),
+                FaultSpec("corrupt", vcycle=2, level=0),
+                FaultSpec("delay", vcycle=3, level=1),
+            )
+        )
+        solver = GMGSolver(small_config(), fault_plan=plan)
+        result = solver.solve()
+        assert result.status == "converged"
+        counts = result.fault_counts
+        assert counts["inject_drop"] == 1
+        assert counts["inject_corrupt"] == 1
+        assert counts["inject_delay"] == 1
+        assert result.recorder.injected_faults == plan.total_planned_hits == 3
+        assert result.recorder.detected_faults == 3
+        assert result.recorder.retries == 3
+
+
+class TestKernelSdcRecovery:
+    def test_nan_rollback_recovers_to_same_residual(self, reference):
+        ref_result, ref_solution = reference
+        plan = FaultPlan.single("sdc", vcycle=2, level=0, rank=0)
+        solver = GMGSolver(
+            small_config(),
+            resilience=ResilienceConfig(checkpoint_interval=2),
+            fault_plan=plan,
+        )
+        result = solver.solve()
+        assert result.status == "converged"
+        assert result.final_residual == ref_result.final_residual
+        np.testing.assert_array_equal(solver.solution(), ref_solution)
+        counts = result.fault_counts
+        assert counts["inject_sdc"] == 1
+        assert counts["detect_sdc"] == 1
+        assert counts["rollback"] == 1
+        # corrupted cycle 2 rolled back to the checkpoint of cycle 2-ε:
+        # checkpoints land every 2 clean cycles, so the redo costs a
+        # deterministic 2 extra cycles (the poisoned one + the replay).
+        assert result.executed_vcycles - result.num_vcycles == 2
+
+    def test_inf_poison_on_coarse_level(self, reference):
+        _, ref_solution = reference
+        plan = FaultPlan(
+            specs=(
+                FaultSpec("sdc", vcycle=3, level=1, rank=1,
+                          sdc_value=float("inf")),
+            )
+        )
+        solver = GMGSolver(small_config(), fault_plan=plan)
+        result = solver.solve()
+        assert result.status == "converged"
+        assert result.fault_counts["rollback"] == 1
+        np.testing.assert_array_equal(solver.solution(), ref_solution)
+
+    def test_single_rank_sdc_detection(self):
+        """Single-rank runs detect SDC too (no comm layer involved)."""
+        plan = FaultPlan.single("sdc", vcycle=1, level=0, rank=0)
+        solver = GMGSolver(small_config(rank_dims=(1, 1, 1)), fault_plan=plan)
+        result = solver.solve()
+        assert result.status == "converged"
+        assert result.fault_counts["detect_sdc"] == 1
+        assert result.fault_counts["rollback"] == 1
+
+
+class TestGracefulDegradation:
+    def test_persistent_drop_exhausts_budget(self):
+        plan = FaultPlan(
+            specs=(FaultSpec("drop", vcycle_from=1, level=0, max_hits=None),)
+        )
+        res_cfg = ResilienceConfig(recovery_budget=2)
+        solver = GMGSolver(small_config(), resilience=res_cfg, fault_plan=plan)
+        result = solver.solve()  # must not raise
+        assert result.status == STATUS_FAILED_FAULTS
+        assert not result.converged
+        assert result.rollbacks == 2
+        assert result.fault_counts["give_up"] == 1
+
+    def test_persistent_sdc_exhausts_budget(self):
+        plan = FaultPlan(
+            specs=(FaultSpec("sdc", vcycle_from=1, level=0, rank=0,
+                             max_hits=None),)
+        )
+        solver = GMGSolver(small_config(), fault_plan=plan)
+        result = solver.solve()
+        assert result.status == STATUS_FAILED_FAULTS
+        assert result.rollbacks == ResilienceConfig().recovery_budget
+
+    def test_fault_at_initial_residual_fails_structuredly(self):
+        plan = FaultPlan(
+            specs=(FaultSpec("drop", vcycle=0, level=0, max_hits=None),)
+        )
+        solver = GMGSolver(small_config(), fault_plan=plan)
+        result = solver.solve()
+        assert result.status == STATUS_FAILED_FAULTS
+        assert result.residual_history == []
+        assert math.isnan(result.final_residual)
+
+
+class TestSolveResultEdgeCases:
+    def make(self, history, num_vcycles, **kw):
+        return SolveResult(
+            converged=bool(history and history[-1] <= 1e-10),
+            num_vcycles=num_vcycles,
+            residual_history=history,
+            recorder=Recorder(),
+            **kw,
+        )
+
+    def test_empty_history(self):
+        r = self.make([], 0, status="failed_faults")
+        assert math.isnan(r.final_residual)
+        assert r.convergence_factor == 1.0
+
+    def test_single_entry_history(self):
+        """Solve that stopped on the initial residual: no reduction ran."""
+        r = self.make([5e-11], 0)
+        assert r.converged
+        assert r.final_residual == 5e-11
+        assert r.convergence_factor == 1.0
+
+    def test_status_defaults(self):
+        assert self.make([1e-12], 0).status == "converged"
+        assert self.make([1.0, 0.5], 1).status == "max_vcycles"
+        assert self.make([], 0, status="diverged").status == "diverged"
+
+    def test_executed_defaults_to_clean(self):
+        r = self.make([1.0, 1e-12], 1)
+        assert r.executed_vcycles == 1
+
+
+class TestOverheadPricing:
+    def test_checkpoint_seconds_scales_with_bytes(self):
+        m = MACHINES["Perlmutter"]
+        assert checkpoint_seconds(m, 0) == 0.0
+        assert checkpoint_seconds(m, 2 * 10**9) > checkpoint_seconds(m, 10**9) > 0
+
+    def test_overhead_breakdown_prices_recorded_events(self):
+        plan = FaultPlan.single("drop", vcycle=1, level=0)
+        solver = GMGSolver(small_config(), fault_plan=plan)
+        result = solver.solve()
+        breakdown = resilience_overhead(
+            MACHINES["Frontier"],
+            result.recorder,
+            recomputed_vcycles=result.executed_vcycles - result.num_vcycles,
+            vcycle_seconds=1e-3,
+        )
+        assert breakdown.retries_s > 0
+        assert breakdown.checkpoints_s > 0
+        assert breakdown.total_s >= breakdown.retries_s + breakdown.checkpoints_s
+
+
+class TestFaultSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fault_sweep(seed=2024, machine_name="Perlmutter")
+
+    def test_all_scenarios_have_structured_status(self, rows):
+        assert all(
+            r.status in ("converged", "max_vcycles", "diverged", "failed_faults")
+            for r in rows
+        )
+
+    def test_no_fault_scenario_is_bit_identical(self, rows):
+        base = next(r for r in rows if r.scenario == "no-faults")
+        assert base.bit_identical
+        assert base.injected == base.detected == 0
+        assert base.overhead_ms < 0.1  # checkpoints only
+
+    def test_recoverable_scenarios_recover_bitwise(self, rows):
+        for r in rows:
+            if r.scenario == "drop-storm":
+                continue
+            assert r.status == "converged", r.scenario
+            assert r.bit_identical, r.scenario
+            assert r.detected >= 1 or r.scenario == "no-faults"
+
+    def test_storm_degrades(self, rows):
+        storm = next(r for r in rows if r.scenario == "drop-storm")
+        assert storm.status == "failed_faults"
+        assert storm.rollbacks > 0
+        assert not storm.bit_identical
+
+    def test_sweep_is_deterministic(self, rows):
+        assert fault_sweep(seed=2024, machine_name="Perlmutter") == rows
+
+    def test_render_mentions_every_scenario(self, rows):
+        text = render_fault_sweep(rows, "Perlmutter")
+        for r in rows:
+            assert r.scenario in text
+
+    def test_default_config_is_distributed(self):
+        assert default_config().num_ranks > 1

@@ -99,11 +99,102 @@ class TestStats:
         with pytest.raises(RuntimeError, match="undelivered"):
             comm.assert_drained()
 
+    def test_assert_drained_names_each_leaking_mailbox(self):
+        comm = SimComm(3)
+        comm.isend(0, 1, tag=3, payload=np.zeros(1))
+        comm.isend(0, 1, tag=3, payload=np.zeros(1))
+        comm.isend(2, 0, tag=7, payload=np.zeros(1))
+        with pytest.raises(RuntimeError) as exc:
+            comm.assert_drained()
+        assert "2 mailbox(es)" in str(exc.value)
+        assert "dst=1 src=0 tag=3: 2 pending" in str(exc.value)
+        assert "dst=0 src=2 tag=7: 1 pending" in str(exc.value)
+
+
+class TestFaultTransport:
+    """Resilience primitives: headers, delay queue, retransmission."""
+
+    def test_try_match_returns_none_instead_of_raising(self):
+        comm = SimComm(2)
+        assert comm.try_match(1, 0, tag=0) is None
+        comm.isend(0, 1, tag=0, payload=np.arange(3.0))
+        msg = comm.try_match(1, 0, tag=0)
+        assert np.array_equal(msg.payload, np.arange(3.0))
+        assert msg.seq == 0
+
+    def test_sequence_numbers_are_per_envelope(self):
+        comm = SimComm(2)
+        for _ in range(2):
+            comm.isend(0, 1, tag=0, payload=np.zeros(1))
+        comm.isend(0, 1, tag=1, payload=np.zeros(1))
+        assert comm.try_match(1, 0, tag=0).seq == 0
+        assert comm.try_match(1, 0, tag=0).seq == 1
+        assert comm.try_match(1, 0, tag=1).seq == 0
+
+    def test_delay_parks_until_released(self):
+        from repro.faults.injector import FaultAction
+
+        comm = SimComm(2)
+        comm.isend(0, 1, tag=0, payload=np.array([9.0]),
+                   fault=FaultAction("delay"))
+        assert comm.try_match(1, 0, tag=0) is None
+        assert comm.release_delayed(1, 0, tag=0) == 1
+        assert comm.try_match(1, 0, tag=0).payload[0] == 9.0
+        assert comm.release_delayed(1, 0, tag=0) == 0
+
+    def test_retransmit_resends_pristine_payload(self):
+        from repro.faults.injector import FaultAction
+
+        comm = SimComm(2)
+        payload = np.arange(4.0)
+        comm.isend(0, 1, tag=0, payload=payload, checksum=123,
+                   fault=FaultAction("corrupt", corrupt_byte=2, corrupt_bit=5))
+        corrupted = comm.try_match(1, 0, tag=0)
+        assert not np.array_equal(corrupted.payload, payload)
+        nbytes = comm.retransmit(1, 0, tag=0)
+        assert nbytes == payload.nbytes
+        assert comm.retransmissions == 1
+        fresh = comm.try_match(1, 0, tag=0)
+        # same envelope identity (seq, checksum), uncorrupted data
+        assert np.array_equal(fresh.payload, payload)
+        assert fresh.seq == corrupted.seq
+        assert fresh.checksum == 123
+
+    def test_retransmit_without_prior_send_is_protocol_bug(self):
+        from repro.comm import UnmatchedReceiveError
+
+        comm = SimComm(2)
+        with pytest.raises(UnmatchedReceiveError, match="nothing was ever sent"):
+            comm.retransmit(1, 0, tag=4)
+
+    def test_discard_stale_drops_old_sequence_numbers(self):
+        comm = SimComm(2)
+        for _ in range(3):
+            comm.isend(0, 1, tag=0, payload=np.zeros(1))
+        assert comm.discard_stale(1, 0, tag=0, below_seq=2) == 2
+        assert comm.try_match(1, 0, tag=0).seq == 2
+
+    def test_reset_in_flight_purges_everything(self):
+        from repro.faults.injector import FaultAction
+
+        comm = SimComm(2)
+        comm.isend(0, 1, tag=0, payload=np.zeros(1))
+        comm.isend(0, 1, tag=1, payload=np.zeros(1),
+                   fault=FaultAction("delay"))
+        assert comm.in_flight() == {(1, 0, 0): 1, (1, 0, 1): 1}
+        assert comm.reset_in_flight() == 2
+        comm.assert_drained()
+
 
 class TestCollectives:
     def test_allreduce_max(self):
         comm = SimComm(3)
         assert comm.allreduce_max([1.0, 5.0, 3.0]) == 5.0
+
+    def test_allreduce_max_propagates_nan(self):
+        """A poisoned local residual must surface globally (MPI_MAX)."""
+        comm = SimComm(3)
+        assert np.isnan(comm.allreduce_max([1.0, float("nan"), 3.0]))
 
     def test_allreduce_sum(self):
         comm = SimComm(3)

@@ -134,6 +134,25 @@ class TestSolveResult:
         r = SolveResult(True, 0, [0.0], Recorder())
         assert r.convergence_factor == 1.0
 
+    def test_plain_solve_reports_status(self):
+        result = GMGSolver(
+            SolverConfig(global_cells=16, num_levels=2, brick_dim=4,
+                         max_smooths=6, bottom_smooths=20)
+        ).solve()
+        assert result.status == "converged"
+        assert result.executed_vcycles == result.num_vcycles
+        assert result.rollbacks == 0
+        assert result.fault_counts == {}
+
+    def test_max_vcycles_status(self):
+        result = GMGSolver(
+            SolverConfig(global_cells=16, num_levels=2, brick_dim=4,
+                         max_smooths=2, bottom_smooths=4, max_vcycles=1)
+        ).solve()
+        assert not result.converged
+        assert result.status == "max_vcycles"
+        assert result.num_vcycles == 1
+
 
 class TestEstimateSolveTime:
     def test_bridges_functional_config_to_machine_model(self):
