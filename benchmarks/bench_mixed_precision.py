@@ -12,7 +12,6 @@ GPU generations.  This bench reproduces both halves of that story:
   fp64 time on all three machines.
 """
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.gmg import GMGSolver, MixedPrecisionSolver, SolverConfig

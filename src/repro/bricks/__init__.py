@@ -20,6 +20,7 @@ Key properties reproduced from the paper:
   adjacency table rather than through a padded array.
 """
 
+from repro.bricks.batch import BatchedGrid
 from repro.bricks.brick_grid import (
     CENTER_DIRECTION_INDEX,
     DIRECTIONS,
@@ -30,6 +31,7 @@ from repro.bricks.brick_grid import (
 )
 from repro.bricks.bricked_array import BrickedArray
 from repro.bricks.halo import gather_extended
+from repro.bricks.halo_plan import HaloPlan, gather_planned, plan_for, refresh_shell
 from repro.bricks.orderings import (
     ORDERINGS,
     contiguous_segments,
@@ -40,12 +42,17 @@ from repro.bricks.orderings import (
 __all__ = [
     "BrickGrid",
     "BrickedArray",
+    "BatchedGrid",
     "DIRECTIONS",
     "NEIGHBOR_DIRECTIONS",
     "CENTER_DIRECTION_INDEX",
     "direction_index",
     "opposite_index",
     "gather_extended",
+    "HaloPlan",
+    "gather_planned",
+    "plan_for",
+    "refresh_shell",
     "ORDERINGS",
     "lexicographic_order",
     "surface_major_order",

@@ -103,6 +103,12 @@ class BrickGrid:
         self.brick_dim = int(brick_dim)
         self.ghost_bricks = int(ghost_bricks)
         self.ordering = ordering
+        #: value-identity of the derived index tables (adjacency,
+        #: orderings, region maps): two grids with equal keys are
+        #: interchangeable for precomputed gather/refresh plans
+        self.geometry_key = (
+            "brick", shape_bricks, self.brick_dim, self.ghost_bricks, ordering
+        )
 
         #: extended grid shape (interior + ghost shell), bricks per dim
         self.extended_shape = tuple(n + 2 * self.ghost_bricks for n in shape_bricks)

@@ -31,13 +31,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         cycle=args.cycle,
         boundary=args.boundary,
         communication_avoiding=not args.no_ca,
+        halo_resident=args.engine in ("halo", "full"),
+        fuse_kernels=args.engine in ("fuse", "full"),
+        batch_ranks=args.engine in ("batch", "full"),
     )
     solver = GMGSolver(config)
     print(
         f"solving {args.size}^3 over {config.num_ranks} rank(s), "
         f"{args.levels} levels, {args.brick}^3 bricks, "
         f"smoother={args.smoother}, bottom={args.bottom_solver}, "
-        f"cycle={args.cycle}, boundary={args.boundary}"
+        f"cycle={args.cycle}, boundary={args.boundary}, "
+        f"engine={args.engine}"
     )
     result = solver.solve()
     for cycle, res in enumerate(result.residual_history):
@@ -181,6 +185,11 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--cycle", default="V", choices=["V", "W", "F"])
     solve.add_argument("--boundary", default="periodic",
                        choices=["periodic", "dirichlet", "neumann"])
+    solve.add_argument("--engine", default="off",
+                       choices=["off", "halo", "fuse", "batch", "full"],
+                       help="execution engine: halo-resident storage, "
+                            "fused kernels, cross-rank batching, or all "
+                            "three (bit-identical to 'off', faster)")
     solve.add_argument("--no-ca", action="store_true",
                        help="disable communication-avoiding smoothing")
     solve.add_argument("--verify", action="store_true",

@@ -100,6 +100,9 @@ class LocalPeriodicExchange:
             self._fill = BoundaryFill(
                 grid, ((True, True),) * 3, self.boundary
             )
+        #: per-itemsize (nbytes, kind) rows of the 26 recorded messages —
+        #: static per grid, so computed once instead of per exchange
+        self._message_rows: dict[int, list[tuple[int, str]]] = {}
 
     def exchange(
         self, level: int, fields_by_rank: Sequence[Sequence[BrickedArray]]
@@ -123,12 +126,18 @@ class LocalPeriodicExchange:
             self.recorder.exchange(level)
             nfields = len(fields_by_rank[0])
             itemsize = fields_by_rank[0][0].data.dtype.itemsize
-            for d in NEIGHBOR_DIRECTIONS:
-                nbytes = self.grid.region_num_bytes(d, itemsize) * nfields
+            rows = self._message_rows.get(itemsize)
+            if rows is None:
+                rows = [
+                    (self.grid.region_num_bytes(d, itemsize), direction_kind(d))
+                    for d in NEIGHBOR_DIRECTIONS
+                ]
+                self._message_rows[itemsize] = rows
+            for nbytes, kind in rows:
                 self.recorder.message(
                     level,
-                    nbytes,
-                    direction_kind(d),
+                    nbytes * nfields,
+                    kind,
                     segments=1,
                     self_message=True,
                 )

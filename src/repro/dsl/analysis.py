@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.dsl.ast import Assignment, BinOp, Const, ConstRef, Expr, GridRef, Stencil
+from repro.dsl.ast import BinOp, Const, ConstRef, Expr, GridRef, Stencil
 
 ITEMSIZE = 8  # double precision throughout, as in the paper
 
@@ -75,6 +75,30 @@ def flops_per_point(stencil: Stencil) -> int:
     return flops
 
 
+def effective_flops_per_point(stencil: Stencil) -> int:
+    """FLOPs per output point after array-CSE hoisting.
+
+    The vector code generator computes each distinct subexpression once
+    and reuses its buffer, so repeated subtrees — in particular a
+    producer expression substituted at several consumer sites by kernel
+    fusion (:mod:`repro.dsl.fusion`) — cost their flops once, not once
+    per occurrence.  For a stencil with no repeated subexpressions this
+    equals :func:`flops_per_point`.
+    """
+    seen: set[tuple] = set()
+    flops = 0
+    for a in stencil.assignments:
+        for node in _walk(a.expr):
+            if isinstance(node, BinOp) and not (
+                _is_const(node.lhs) and _is_const(node.rhs)
+            ):
+                k = node.key()
+                if k not in seen:
+                    seen.add(k)
+                    flops += 1
+    return flops
+
+
 def bytes_per_point(stencil: Stencil) -> int:
     """Compulsory DRAM traffic per output point, in bytes.
 
@@ -92,6 +116,14 @@ def bytes_per_point(stencil: Stencil) -> int:
 def arithmetic_intensity(stencil: Stencil) -> float:
     """Theoretical FLOP:byte ratio (Table IV's quantity)."""
     return flops_per_point(stencil) / bytes_per_point(stencil)
+
+
+def effective_arithmetic_intensity(stencil: Stencil) -> float:
+    """FLOP:byte ratio as generated: CSE-deduplicated flops over the
+    compulsory traffic.  For fused pipelines this is the figure the
+    engine actually achieves — the intermediate grid never round-trips
+    through DRAM as an input stream and shared subtrees compute once."""
+    return effective_flops_per_point(stencil) / bytes_per_point(stencil)
 
 
 def common_subexpressions(stencil: Stencil) -> list[tuple]:
@@ -126,6 +158,8 @@ class StencilAnalysis:
     flops_per_point: int
     bytes_per_point: int
     arithmetic_intensity: float
+    effective_flops_per_point: int
+    effective_arithmetic_intensity: float
     input_grids: tuple[str, ...]
     output_grids: tuple[str, ...]
     halo_grids: tuple[str, ...]
@@ -154,6 +188,8 @@ def analyze(stencil: Stencil) -> StencilAnalysis:
         flops_per_point=flops_per_point(stencil),
         bytes_per_point=bytes_per_point(stencil),
         arithmetic_intensity=arithmetic_intensity(stencil),
+        effective_flops_per_point=effective_flops_per_point(stencil),
+        effective_arithmetic_intensity=effective_arithmetic_intensity(stencil),
         input_grids=tuple(sorted(offsets)),
         output_grids=stencil.output_grids,
         halo_grids=halo,

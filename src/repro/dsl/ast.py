@@ -224,9 +224,12 @@ class Stencil:
         targets = [a.target.grid for a in self.assignments]
         if len(set(targets)) != len(targets):
             raise ValueError("each output grid may be assigned only once")
+        # memoised: the structural key is immutable and recomputing it
+        # walks the whole tree, which sits on the kernel-cache hot path
+        self._key = ("stencil", tuple(a.key() for a in self.assignments))
 
     def key(self) -> tuple:
-        return ("stencil", tuple(a.key() for a in self.assignments))
+        return self._key
 
     @property
     def output_grids(self) -> tuple[str, ...]:

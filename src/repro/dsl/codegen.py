@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.bricks.bricked_array import BrickedArray
 from repro.bricks.halo import gather_extended
+from repro.bricks.halo_plan import gather_planned, offset_plan_for, refresh_shell
 from repro.dsl.analysis import StencilAnalysis, analyze, common_subexpressions
 from repro.dsl.ast import BinOp, Const, ConstRef, Expr, GridRef, Stencil
 
@@ -43,12 +44,14 @@ class _Emitter:
         brick_dim: int,
         hoisted: set[tuple],
         lines: list[str],
+        offset_reads: bool = False,
     ) -> None:
         self.halo_grids = halo_grids
         self.radius = radius
         self.brick_dim = brick_dim
         self.hoisted = hoisted
         self.lines = lines
+        self.offset_reads = offset_reads
         self.defined: dict[tuple, str] = {}
         self._counter = 0
 
@@ -59,6 +62,8 @@ class _Emitter:
 
     def _grid_slice(self, ref: GridRef) -> str:
         if ref.grid in self.halo_grids:
+            if self.offset_reads:
+                return f"bufs[{offset_buf_name(ref.grid, ref.offsets)!r}]"
             r, B = self.radius, self.brick_dim
             parts = ", ".join(
                 f"{r + o}:{r + o + B}" for o in ref.offsets
@@ -97,7 +102,14 @@ class _Emitter:
         raise TypeError(f"cannot generate code for {type(node).__name__}")
 
 
-def generate_source(stencil: Stencil, brick_dim: int) -> str:
+def offset_buf_name(grid: str, offsets: tuple[int, int, int]) -> str:
+    """``bufs`` key of one grid's contiguous per-offset block."""
+    return f"{grid}@{offsets[0]},{offsets[1]},{offsets[2]}"
+
+
+def generate_source(
+    stencil: Stencil, brick_dim: int, offset_reads: bool = False
+) -> str:
     """Generate the kernel source for ``stencil`` on ``brick_dim`` bricks.
 
     The generated function has signature ``kernel(bufs, consts, outs)``
@@ -105,12 +117,17 @@ def generate_source(stencil: Stencil, brick_dim: int) -> str:
     grids) or raw brick storage (pointwise grids), ``consts`` maps
     ``ConstRef`` names to scalars, and ``outs`` maps output grid names
     to raw brick storage written in place.
+
+    With ``offset_reads`` each halo-grid read instead targets a
+    contiguous per-offset block (key :func:`offset_buf_name`) supplied
+    by an :class:`~repro.bricks.halo_plan.OffsetGatherPlan` — same
+    values, same operation order, contiguous operands.
     """
     an = analyze(stencil)
     hoisted = set(common_subexpressions(stencil))
     lines: list[str] = []
     buf = io.StringIO()
-    buf.write(f"def kernel(bufs, consts, outs):\n")
+    buf.write("def kernel(bufs, consts, outs):\n")
     buf.write(f'    """Generated from stencil {stencil.name!r}; do not edit."""\n')
     for cname in an.const_names:
         buf.write(f"    _c_{cname} = consts[{cname!r}]\n")
@@ -121,6 +138,7 @@ def generate_source(stencil: Stencil, brick_dim: int) -> str:
         brick_dim=brick_dim,
         hoisted=hoisted,
         lines=lines,
+        offset_reads=offset_reads,
     )
     rhs_fragments = []
     for idx, a in enumerate(stencil.assignments):
@@ -154,9 +172,33 @@ class CompiledKernel:
                 f"dimension {brick_dim}"
             )
         self.source = generate_source(stencil, brick_dim)
+        self._fn = self._compile(self.source)
+        #: offset-read variant for planned fields: every halo operand is
+        #: a contiguous per-offset block instead of an extended slice
+        self.offset_source = generate_source(stencil, brick_dim, offset_reads=True)
+        self._offset_fn = self._compile(self.offset_source)
+        #: deterministic per-grid read offsets driving the gather plans,
+        #: with their bufs keys precomputed ((offset, key) rows; the
+        #: centre read, if any, is split out — it may alias storage)
+        self._offset_rows = {}
+        for g in self.analysis.halo_grids:
+            offs = tuple(sorted(self.analysis.offsets[g]))
+            planned = tuple(o for o in offs if o != (0, 0, 0))
+            self._offset_rows[g] = (
+                (0, 0, 0) in offs,
+                offset_buf_name(g, (0, 0, 0)),
+                planned,
+                tuple(offset_buf_name(g, o) for o in planned),
+            )
+        #: every grid apply() must be handed (hot-path validation list)
+        self._needed_grids = tuple(
+            dict.fromkeys(self.analysis.input_grids + self.analysis.output_grids)
+        )
+
+    def _compile(self, source: str):
         namespace: dict = {"np": np}
-        exec(compile(self.source, f"<stencil:{stencil.name}>", "exec"), namespace)
-        self._fn = namespace["kernel"]
+        exec(compile(source, f"<stencil:{self.stencil.name}>", "exec"), namespace)
+        return namespace["kernel"]
 
     def apply(
         self,
@@ -181,15 +223,16 @@ class CompiledKernel:
         missing = [c for c in self.analysis.const_names if c not in consts]
         if missing:
             raise KeyError(f"missing constants for {self.stencil.name}: {missing}")
-        needed = set(self.analysis.input_grids) | set(self.analysis.output_grids)
-        absent = sorted(needed - set(fields))
+        absent = sorted(g for g in self._needed_grids if g not in fields)
         if absent:
             raise KeyError(f"missing fields for {self.stencil.name}: {absent}")
 
-        grids = {f.grid for f in fields.values()}
-        if len(grids) != 1:
-            raise ValueError("all fields must share one BrickGrid")
-        (grid,) = grids
+        grid = None
+        for f in fields.values():
+            if grid is None:
+                grid = f.grid
+            elif f.grid is not grid:
+                raise ValueError("all fields must share one BrickGrid")
         if grid.brick_dim != self.brick_dim:
             raise ValueError(
                 f"kernel compiled for brick_dim={self.brick_dim}, fields have "
@@ -197,12 +240,27 @@ class CompiledKernel:
             )
 
         r = self.analysis.radius
+        halo = self.analysis.halo_grids
+        use_offsets = bool(halo) and all(
+            fields[g].planned_gather and self._offset_ready(fields[g])
+            for g in halo
+        )
         bufs: dict[str, np.ndarray] = {}
         for g in self.analysis.input_grids:
-            if g in self.analysis.halo_grids:
+            f = fields[g]
+            if g in halo:
+                if use_offsets:
+                    self._offset_bufs(g, f, grid, workspace, bufs)
+                    continue
+                if f.has_resident_halo and f.halo_radius == r:
+                    # halo-resident layout: the extended storage IS the
+                    # kernel buffer — copy only the 26 shell regions
+                    refresh_shell(f)
+                    bufs[g] = f.ext_data
+                    continue
                 ext = grid.brick_dim + 2 * r
                 shape = (grid.num_slots, ext, ext, ext)
-                dtype = fields[g].data.dtype
+                dtype = f.data.dtype
                 buf = None
                 if workspace is not None:
                     key = (g, shape, dtype)
@@ -210,21 +268,94 @@ class CompiledKernel:
                     if buf is None:
                         buf = np.empty(shape, dtype=dtype)
                         workspace[key] = buf
-                bufs[g] = gather_extended(fields[g], r, out=buf)
+                if f.planned_gather:
+                    bufs[g] = gather_planned(f, r, out=buf)
+                else:
+                    bufs[g] = gather_extended(f, r, out=buf)
             else:
-                bufs[g] = fields[g].data
+                bufs[g] = f.data
         outs = {g: fields[g].data for g in self.analysis.output_grids}
-        self._fn(bufs, consts, outs)
+        if use_offsets:
+            self._offset_fn(bufs, consts, outs)
+        else:
+            self._fn(bufs, consts, outs)
+
+    @staticmethod
+    def _offset_ready(f: BrickedArray) -> bool:
+        """Planned per-offset gathers need a flat (contiguous) source."""
+        if f.has_resident_halo:
+            return f.ext_data.flags.c_contiguous
+        return f.data.flags.c_contiguous
+
+    def _offset_bufs(
+        self,
+        g: str,
+        f: BrickedArray,
+        grid,
+        workspace: dict | None,
+        bufs: dict[str, np.ndarray],
+    ) -> None:
+        """Materialise contiguous per-offset blocks for one halo grid.
+
+        One ``np.take`` per grid; for halo-resident fields the take
+        sources neighbour *interiors* of the extended storage directly,
+        so the shell never needs refreshing on this path.  For packed
+        fields the centre block is the field's own storage — no copy.
+        """
+        has_center, center_key, planned, planned_keys = self._offset_rows[g]
+        if f.has_resident_halo:
+            # Re-pack the (strided) interior once: the per-offset take
+            # then streams from a compact contiguous source, which beats
+            # both extended-slice operands and an ext-sourced take.
+            source = None
+            if workspace is not None:
+                key = (g, "packed", f.data.shape, f.dtype)
+                source = workspace.get(key)
+                if source is None:
+                    source = np.empty(f.data.shape, dtype=f.dtype)
+                    workspace[key] = source
+            else:
+                source = np.empty(f.data.shape, dtype=f.dtype)
+            np.copyto(source, f.data)
+        else:
+            source = f.data
+        if has_center:
+            bufs[center_key] = source
+        if not planned:
+            return
+        plan = offset_plan_for(f.grid, planned, 0)
+        block = None
+        if workspace is not None:
+            bkey = (g, "offsets", len(planned), f.data.shape, f.dtype)
+            block = workspace.get(bkey)
+            if block is None:
+                block = np.empty((len(planned),) + f.data.shape, dtype=f.dtype)
+                workspace[bkey] = block
+        block = plan.gather(source, out=block)
+        for k, key in enumerate(planned_keys):
+            bufs[key] = block[k]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CompiledKernel({self.stencil.name!r}, brick_dim={self.brick_dim})"
 
 
 def compile_stencil(stencil: Stencil, brick_dim: int) -> CompiledKernel:
-    """Compile (with caching) a stencil for a given brick dimension."""
-    key = (stencil.key(), int(brick_dim))
-    kernel = _KERNEL_CACHE.get(key)
+    """Compile (with caching) a stencil for a given brick dimension.
+
+    Two cache layers: a per-object dict on the stencil (hot path — no
+    hashing of the structural key, which for fused pipelines is large)
+    and the global structural-key cache, so congruent stencil objects
+    still share one compiled kernel.
+    """
+    cache = stencil.__dict__.get("_kernels")
+    if cache is None:
+        cache = stencil._kernels = {}
+    kernel = cache.get(brick_dim)
     if kernel is None:
-        kernel = CompiledKernel(stencil, brick_dim)
-        _KERNEL_CACHE[key] = kernel
+        key = (stencil.key(), int(brick_dim))
+        kernel = _KERNEL_CACHE.get(key)
+        if kernel is None:
+            kernel = CompiledKernel(stencil, brick_dim)
+            _KERNEL_CACHE[key] = kernel
+        cache[brick_dim] = kernel
     return kernel

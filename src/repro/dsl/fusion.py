@@ -1,0 +1,90 @@
+"""Codegen-level stencil fusion: compose a pipeline into one kernel.
+
+The V-cycle's smoothing step is a two-kernel pipeline — ``applyOp``
+produces ``Ax``, then ``smooth``/``smooth+residual`` consumes it — and
+each kernel invocation pays its own halo gather of ``x``.
+:func:`compose_stencils` fuses such a pipeline at the expression level:
+every pointwise read of a producer's output grid is replaced by the
+producer's right-hand-side expression, yielding a single
+:class:`~repro.dsl.ast.Stencil` that the existing vector code generator
+compiles into *one* kernel with *one* gather (or shell refresh) per
+invocation.
+
+Two properties make the fusion bit-identical to the unfused pipeline:
+
+* the substituted subtree is structurally identical at every site, so
+  the generator's array-CSE hoisting computes it exactly once, with the
+  same sequence of NumPy binary operations the standalone producer
+  kernel performs — identical floating-point results;
+* the producer's own assignments are *kept* (its outputs are still
+  stored), so the observable field state (``Ax`` included) matches the
+  unfused execution byte for byte.
+
+Reads of a produced grid at a non-zero offset are rejected: they would
+require the halo of an intermediate that exists only as an expression.
+That is precisely the fusion boundary of the paper's pipeline — the
+smoothers read ``Ax``/``b`` pointwise, so the whole
+``applyOp -> smooth -> residual`` chain fuses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.dsl.ast import Assignment, BinOp, Expr, GridRef, Stencil
+
+
+def _substitute(expr: Expr, produced: dict[str, Expr]) -> Expr:
+    """Replace pointwise reads of produced grids with their expressions.
+
+    Returns ``expr`` itself when nothing changes, so shared subtrees
+    stay shared (keeping structural keys — and therefore CSE — stable).
+    """
+    if isinstance(expr, GridRef):
+        replacement = produced.get(expr.grid)
+        if replacement is None:
+            return expr
+        if expr.offsets != (0, 0, 0):
+            raise ValueError(
+                f"cannot fuse: grid {expr.grid!r} is produced upstream but "
+                f"read at offset {expr.offsets} — the intermediate's halo "
+                "does not exist inside a fused kernel"
+            )
+        return replacement
+    if isinstance(expr, BinOp):
+        lhs = _substitute(expr.lhs, produced)
+        rhs = _substitute(expr.rhs, produced)
+        if lhs is expr.lhs and rhs is expr.rhs:
+            return expr
+        return BinOp(expr.op, lhs, rhs)
+    return expr  # Const / ConstRef
+
+
+def compose_stencils(name: str, stencils: Iterable[Stencil]) -> Stencil:
+    """Fuse an ordered pipeline of stencils into a single stencil.
+
+    Each stencil's pointwise reads of grids assigned by *earlier*
+    stencils in the pipeline are replaced by the (already-substituted)
+    defining expressions, so dataflow through intermediates becomes
+    expression nesting.  All assignments are retained, in pipeline
+    order — every output of every stage is still stored, which keeps
+    the fused kernel's observable effect identical to running the
+    stages back to back.
+    """
+    pipeline = tuple(stencils)
+    if len(pipeline) < 2:
+        raise ValueError("fusion needs at least two stencils")
+    produced: dict[str, Expr] = {}
+    assignments: list[Assignment] = []
+    for stencil in pipeline:
+        for a in stencil.assignments:
+            target = a.target.grid
+            if target in produced:
+                raise ValueError(
+                    f"cannot fuse: grid {target!r} is assigned by more than "
+                    "one pipeline stage"
+                )
+            rhs = _substitute(a.expr, produced)
+            assignments.append(a.target.assign(rhs))
+            produced[target] = rhs
+    return Stencil(name, assignments)

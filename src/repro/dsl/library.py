@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.dsl.analysis import analyze
 from repro.dsl.ast import ConstRef, Grid, Stencil, indices
+from repro.dsl.fusion import compose_stencils
 
 
 def _build_apply_op() -> Stencil:
@@ -74,6 +75,23 @@ SMOOTH = _build_smooth()
 SMOOTH_RESIDUAL = _build_smooth_residual()
 #: Residual only (used for the convergence check).
 RESIDUAL = _build_residual()
+
+#: Fused pipelines: one kernel, one halo gather/refresh per invocation.
+#: All producer outputs are still stored, so each fused kernel is
+#: bit-identical (in every field it touches) to running its stages
+#: back to back — see :mod:`repro.dsl.fusion`.
+FUSED_SMOOTH = compose_stencils("applyOp>smooth", (APPLY_OP, SMOOTH))
+FUSED_SMOOTH_RESIDUAL = compose_stencils(
+    "applyOp>smooth+residual", (APPLY_OP, SMOOTH_RESIDUAL)
+)
+FUSED_APPLY_RESIDUAL = compose_stencils("applyOp>residual", (APPLY_OP, RESIDUAL))
+
+#: Fused stencil registry keyed by the unfused pipeline tail it replaces.
+FUSED_STENCILS: dict[str, Stencil] = {
+    "smooth": FUSED_SMOOTH,
+    "smooth+residual": FUSED_SMOOTH_RESIDUAL,
+    "residual": FUSED_APPLY_RESIDUAL,
+}
 
 
 @dataclass(frozen=True)
@@ -184,3 +202,23 @@ def theoretical_ai_table() -> dict[str, tuple[float, float]]:
         name: (info.arithmetic_intensity, info.paper_ai)
         for name, info in OPERATOR_INFO.items()
     }
+
+
+def fused_ai_table() -> dict[str, tuple[int, int, float]]:
+    """Per fused pipeline: ``(effective flops/pt, bytes/pt, effective AI)``.
+
+    The *effective* figures are CSE-deduplicated — the substituted
+    ``applyOp`` subtree computes once however many consumer sites read
+    it — and the byte count drops the intermediate's input stream, so
+    the table quantifies exactly what fusion buys over the unfused
+    pipeline (:func:`theoretical_ai_table` rows summed stage by stage).
+    """
+    out: dict[str, tuple[int, int, float]] = {}
+    for stencil in FUSED_STENCILS.values():
+        an = analyze(stencil)
+        out[an.name] = (
+            an.effective_flops_per_point,
+            an.bytes_per_point,
+            an.effective_arithmetic_intensity,
+        )
+    return out

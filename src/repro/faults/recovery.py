@@ -27,7 +27,7 @@ results are bit-identical to the plain path.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

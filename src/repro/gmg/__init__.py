@@ -20,6 +20,7 @@ from repro.gmg.bottom import (
     RelaxationBottomSolver,
     make_bottom_solver,
 )
+from repro.gmg.engine import EngineConfig, ExecutionEngine
 from repro.gmg.level import Level, level_brick_dim
 from repro.gmg.problem import (
     CONVERGENCE_TOL,
@@ -66,6 +67,8 @@ __all__ = [
     "SolverConfig",
     "SolveResult",
     "VCycle",
+    "EngineConfig",
+    "ExecutionEngine",
     "Level",
     "level_brick_dim",
     "ArrayGMG",

@@ -21,7 +21,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gmg.level import Level
-from repro.instrument import Recorder
 
 
 class BottomSolver:

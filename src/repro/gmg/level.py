@@ -36,6 +36,10 @@ def level_brick_dim(cells_per_dim: int, requested: int) -> int:
 class Level:
     """State of one multigrid level on one rank."""
 
+    #: set by the execution engine: smoothers compile the fused pipeline
+    #: stencils (one kernel, one halo gather) instead of staged kernels
+    fused_kernels = False
+
     def __init__(
         self,
         index: int,
@@ -63,11 +67,14 @@ class Level:
         self.r = BrickedArray.zeros(self.grid, dtype=self.dtype)
         #: reusable halo buffers, keyed by (grid name, shape)
         self.workspace: dict = {}
+        # cached: read once per kernel invocation on the hot path
+        s0, s1, s2 = shape_cells
+        self._num_points = s0 * s1 * s2
 
     @property
     def num_points(self) -> int:
         """Interior cells on this rank at this level."""
-        return int(np.prod(self.shape_cells))
+        return self._num_points
 
     @property
     def ghost_depth_cells(self) -> int:

@@ -31,13 +31,21 @@ Algorithm 2.
 
 from __future__ import annotations
 
-import math
+import weakref
 from functools import cached_property
 
 import numpy as np
 
 from repro.dsl.codegen import compile_stencil
-from repro.dsl.library import APPLY_OP, RESIDUAL, SMOOTH, SMOOTH_RESIDUAL
+from repro.dsl.library import (
+    APPLY_OP,
+    FUSED_APPLY_RESIDUAL,
+    FUSED_SMOOTH,
+    FUSED_SMOOTH_RESIDUAL,
+    RESIDUAL,
+    SMOOTH,
+    SMOOTH_RESIDUAL,
+)
 from repro.gmg.level import Level
 from repro.instrument import Recorder
 
@@ -54,6 +62,35 @@ def _residual(level: Level, recorder: Recorder | None) -> None:
     kernel.apply(level.fields(), {}, level.workspace)
     if recorder is not None:
         recorder.kernel(level.index, "residual", level.num_points)
+
+
+def _apply_op_residual(level: Level, recorder: Recorder | None) -> None:
+    """``Ax = A x`` and ``r = b - Ax`` — one fused kernel when the level
+    runs under the engine's fused mode, the staged pair otherwise."""
+    if level.fused_kernels:
+        kernel = compile_stencil(FUSED_APPLY_RESIDUAL, level.grid.brick_dim)
+        kernel.apply(level.fields(), level.constants.as_dict(), level.workspace)
+        if recorder is not None:
+            recorder.kernel(level.index, FUSED_APPLY_RESIDUAL.name, level.num_points)
+        return
+    _apply_op(level, recorder)
+    _residual(level, recorder)
+
+
+def _scratch(level: Level, name: str) -> np.ndarray:
+    """A reusable per-level temporary shaped like the packed fields.
+
+    Hoists the smoothers' per-iteration allocations (``update``, ``r``,
+    ``z``, ``d``) into the level workspace; with ~10^3 smoothing
+    iterations per solve the allocator traffic is measurable.
+    """
+    shape, dtype = level.x.data.shape, level.x.data.dtype
+    key = ("scratch", name)
+    buf = level.workspace.get(key)
+    if buf is None or buf.shape != shape or buf.dtype != dtype:
+        buf = np.empty(shape, dtype=dtype)
+        level.workspace[key] = buf
+    return buf
 
 
 class Smoother:
@@ -102,6 +139,16 @@ class JacobiSmoother(Smoother):
     def iterate(
         self, level: Level, with_residual: bool, recorder: Recorder | None
     ) -> None:
+        if level.fused_kernels:
+            # one kernel, one halo gather/refresh: the applyOp subtree is
+            # substituted into the update (and residual) expressions and
+            # CSE-hoisted, so the float sequence matches the staged path
+            stencil = FUSED_SMOOTH_RESIDUAL if with_residual else FUSED_SMOOTH
+            kernel = compile_stencil(stencil, level.grid.brick_dim)
+            kernel.apply(level.fields(), self._constants(level), level.workspace)
+            if recorder is not None:
+                recorder.kernel(level.index, stencil.name, level.num_points)
+            return
         _apply_op(level, recorder)
         stencil = SMOOTH_RESIDUAL if with_residual else SMOOTH
         kernel = compile_stencil(stencil, level.grid.brick_dim)
@@ -119,16 +166,21 @@ class _ColoredSmoother(Smoother):
         if not 0.0 < omega < 2.0:
             raise ValueError(f"relaxation factor must be in (0, 2): {omega}")
         self.omega = omega
-        self._masks: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        # keyed weakly by the grid object itself: an id()-keyed cache
+        # can alias a recycled id onto a new, differently-shaped grid
+        # after the original is garbage-collected
+        self._masks: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
     def _color_masks(self, level: Level) -> tuple[np.ndarray, np.ndarray]:
         """Per-slot chequerboard masks of shape ``(num_slots, B, B, B)``.
 
         Colour is the global parity of the cell coordinates, so the
         pattern is seamless across bricks and (for even subdomains,
-        which power-of-two sizing guarantees) across ranks.
+        which power-of-two sizing guarantees) across ranks — and
+        identical in every rank block of a stacked grid, whose tiled
+        ``slot_to_grid`` produces the per-rank masks stacked.
         """
-        key = id(level.grid)
+        key = level.grid
         masks = self._masks.get(key)
         if masks is None:
             grid = level.grid
@@ -155,14 +207,26 @@ class _ColoredSmoother(Smoother):
         op_label: str,
     ) -> None:
         _apply_op(level, recorder)
-        c = level.constants
-        x, Ax, b = level.x.data, level.Ax.data, level.b.data
-        # exact point solve on the coloured cells, over-relaxed:
-        # x_c := x_c + omega (b - A x)_c / alpha_diag
-        update = (b - Ax) / c.alpha
-        np.add(x, self.omega * update, out=x, where=mask)
+        self._masked_update(level, mask)
         if recorder is not None:
             recorder.kernel(level.index, op_label, level.num_points // 2)
+
+    def _masked_update(self, level: Level, mask: np.ndarray) -> None:
+        """Exact point solve on the coloured cells, over-relaxed:
+        ``x_c := x_c + omega (b - A x)_c / alpha_diag``.
+
+        The temporary lives in the level workspace; the ``out=`` forms
+        replay the expression ``omega * ((b - Ax) / alpha)`` with the
+        same operation order, so results stay bit-identical to the
+        allocating form.
+        """
+        c = level.constants
+        x, Ax, b = level.x.data, level.Ax.data, level.b.data
+        update = _scratch(level, "update")
+        np.subtract(b, Ax, out=update)
+        np.divide(update, c.alpha, out=update)
+        np.multiply(update, self.omega, out=update)
+        np.add(x, update, out=x, where=mask)
 
     def iterate(
         self, level: Level, with_residual: bool, recorder: Recorder | None
@@ -171,8 +235,7 @@ class _ColoredSmoother(Smoother):
         if with_residual:
             # pre-update residual (Algorithm 2's convention) reuses the
             # red half-sweep's operator application
-            _apply_op(level, recorder)
-            _residual(level, recorder)
+            _apply_op_residual(level, recorder)
             self._half_sweep_given_ax(level, red, recorder)
         else:
             self._half_sweep(level, red, recorder, self._half_label)
@@ -181,10 +244,7 @@ class _ColoredSmoother(Smoother):
     def _half_sweep_given_ax(
         self, level: Level, mask: np.ndarray, recorder: Recorder | None
     ) -> None:
-        c = level.constants
-        x, Ax, b = level.x.data, level.Ax.data, level.b.data
-        update = (b - Ax) / c.alpha
-        np.add(x, self.omega * update, out=x, where=mask)
+        self._masked_update(level, mask)
         if recorder is not None:
             recorder.kernel(level.index, self._half_label, level.num_points // 2)
 
@@ -249,27 +309,33 @@ class ChebyshevSmoother(Smoother):
         theta, delta, _ = self._coefficients
         c = level.constants
         x = level.x.data
+        # workspace-hoisted temporaries; every ``out=`` form below
+        # replays the allocating expression's operation order exactly
+        r = _scratch(level, "cheb_r")
+        z = _scratch(level, "cheb_z")
+        d = _scratch(level, "cheb_d")
         if with_residual:
-            _apply_op(level, recorder)
-            _residual(level, recorder)
-            r = level.b.data - level.Ax.data
+            _apply_op_residual(level, recorder)
         else:
             _apply_op(level, recorder)
-            r = level.b.data - level.Ax.data
+        np.subtract(level.b.data, level.Ax.data, out=r)
         # Chebyshev iteration on the preconditioned residual equation
         # (standard three-term recurrence, e.g. Saad, Alg. 12.1)
         dinv = 1.0 / c.alpha
-        z = dinv * r
-        d = z / theta
+        np.multiply(r, dinv, out=z)
+        np.divide(z, theta, out=d)
         x += d
         sigma = theta / delta
         rho = 1.0 / sigma
         for _ in range(1, self.degree):
             _apply_op(level, recorder)
-            r = level.b.data - level.Ax.data
-            z = dinv * r
+            np.subtract(level.b.data, level.Ax.data, out=r)
+            np.multiply(r, dinv, out=z)
             rho_new = 1.0 / (2.0 * sigma - rho)
-            d = (rho_new * rho) * d + (2.0 * rho_new / delta) * z
+            # d = (rho_new * rho) * d + (2 rho_new / delta) * z, in place
+            np.multiply(d, rho_new * rho, out=d)
+            np.multiply(z, 2.0 * rho_new / delta, out=z)
+            np.add(d, z, out=d)
             x += d
             rho = rho_new
         if recorder is not None:

@@ -24,6 +24,7 @@ import numpy as np
 from repro.comm.exchange import HaloExchange, LocalPeriodicExchange
 from repro.comm.simmpi import SimComm
 from repro.comm.topology import CartTopology
+from repro.gmg.engine import EngineConfig, ExecutionEngine
 from repro.gmg.level import Level, level_brick_dim
 from repro.gmg.problem import CONVERGENCE_TOL, rhs_field
 from repro.gmg.vcycle import VCycle
@@ -66,6 +67,11 @@ class SolverConfig:
     #: domain boundary condition: "periodic" (paper) / "dirichlet" /
     #: "neumann" (homogeneous, cell-centred mirror ghosts)
     boundary: str = "periodic"
+    #: execution-engine toggles (repro.gmg.engine); every combination
+    #: is bit-identical to the seed path, only wallclock changes
+    halo_resident: bool = False
+    fuse_kernels: bool = False
+    batch_ranks: bool = False
 
     def __post_init__(self) -> None:
         from repro.gmg.bottom import BOTTOM_SOLVERS
@@ -276,6 +282,17 @@ class GMGSolver:
         from repro.gmg.bottom import make_bottom_solver
         from repro.gmg.smoothers import make_smoother
 
+        self.engine = None
+        engine_config = EngineConfig(
+            halo_resident=config.halo_resident,
+            fuse_kernels=config.fuse_kernels,
+            batch_ranks=config.batch_ranks,
+        )
+        if engine_config.enabled:
+            # adopt after _init_rhs so the stacked/extended storage
+            # inherits the initialised right-hand side
+            self.engine = ExecutionEngine(self.rank_levels, engine_config)
+
         bottom_kwargs = dict(config.bottom_options)
         if config.bottom_solver == "relaxation" and "iterations" not in bottom_kwargs:
             bottom_kwargs["iterations"] = config.bottom_smooths
@@ -297,6 +314,7 @@ class GMGSolver:
             allreduce_sum=self.comm.allreduce_sum if self.comm is not None else None,
             topology=self.topology,
             fault_injector=self.injector,
+            engine=self.engine,
         )
 
     def _init_rhs(self) -> None:

@@ -104,6 +104,7 @@ class VCycle:
         topology=None,
         apply_op_fn=None,
         fault_injector=None,
+        engine=None,
     ) -> None:
         if not rank_levels or not rank_levels[0]:
             raise ValueError("need at least one rank with at least one level")
@@ -131,6 +132,9 @@ class VCycle:
         self.topology = topology
         #: optional FaultInjector poisoning kernel outputs (SDC model)
         self.fault_injector = fault_injector
+        #: optional ExecutionEngine (repro.gmg.engine): batched/fused/
+        #: halo-resident execution, bit-identical to the per-rank path
+        self.engine = engine
         # NaN-propagating default (np.max) so a poisoned local residual
         # surfaces in the health checks of single-rank runs too.
         self._allreduce_max = allreduce_max or (lambda values: float(np.max(values)))
@@ -168,8 +172,18 @@ class VCycle:
         return math.ceil(n / self.iterations_per_exchange(lev))
 
     def smooth_level(self, lev: int, iterations: int, with_residual: bool) -> None:
-        """One smoothing visit: CA-scheduled exchanges + iterations."""
+        """One smoothing visit: CA-scheduled exchanges + iterations.
+
+        The exchange cadence is part of the numerics and is identical in
+        every execution mode; with the engine's cross-rank batching the
+        per-rank smoother loop collapses into one vectorised iterate
+        over the stacked level (exchanges still address the per-rank
+        fields, whose storage views the stacked arrays).
+        """
         levels = self.levels_at(lev)
+        stacked = (
+            self.engine.stacked_level(lev) if self.engine is not None else None
+        )
         per_iter = self.smoother.ghost_cells_per_iteration
         budget = self.iterations_per_exchange(lev) * per_iter
         ghost_valid = 0
@@ -183,8 +197,11 @@ class VCycle:
                     b_exchanged = True
                 self.exchangers[lev].exchange(lev, fields)
                 ghost_valid = budget
-            for lv in levels:
-                self.smoother.iterate(lv, with_residual, self.recorder)
+            if stacked is not None:
+                self.smoother.iterate(stacked, with_residual, self.recorder)
+            else:
+                for lv in levels:
+                    self.smoother.iterate(lv, with_residual, self.recorder)
             ghost_valid -= per_iter
         if self.fault_injector is not None:
             # Silent-data-corruption model: the smoother "wrote" a bad
@@ -194,7 +211,23 @@ class VCycle:
                 self.fault_injector.kernel_sdc(lev, rank, lv.x)
 
     # ------------------------------------------------------------------
+    def _stacked_pair(self, lev: int):
+        if self.engine is None:
+            return None
+        return self.engine.stacked_intergrid_pair(lev)
+
     def _restrict(self, lev: int) -> None:
+        pair = self._stacked_pair(lev)
+        if pair is not None:
+            # one vectorised brick-native restriction over all ranks
+            ops.restriction(pair[0], pair[1], self.recorder)
+            for levels in self.rank_levels:
+                levels[lev + 1].init_zero()
+                if self.recorder is not None:
+                    self.recorder.kernel(
+                        lev + 1, "initZero", levels[lev + 1].num_points
+                    )
+            return
         for levels in self.rank_levels:
             ops.restriction(levels[lev], levels[lev + 1], self.recorder)
             levels[lev + 1].init_zero()
@@ -202,6 +235,10 @@ class VCycle:
                 self.recorder.kernel(lev + 1, "initZero", levels[lev + 1].num_points)
 
     def _interpolate(self, lev: int) -> None:
+        pair = self._stacked_pair(lev)
+        if pair is not None:
+            ops.interpolation_increment(pair[1], pair[0], self.recorder)
+            return
         for levels in self.rank_levels:
             ops.interpolation_increment(levels[lev + 1], levels[lev], self.recorder)
 
@@ -231,9 +268,18 @@ class VCycle:
         """Global max-norm of the finest-level residual (Algorithm 1)."""
         levels = self.levels_at(0)
         self.exchangers[0].exchange(0, [[lv.x] for lv in levels])
-        for lv in levels:
-            self.apply_op_fn(lv, self.recorder)
-            ops.residual(lv, self.recorder)
+        stacked = (
+            self.engine.stacked_level(0) if self.engine is not None else None
+        )
+        if stacked is not None and self.apply_op_fn is ops.apply_op:
+            # one vectorised applyOp + residual over all rank blocks;
+            # the per-rank local maxima read through the stacked views
+            ops.apply_op(stacked, self.recorder)
+            ops.residual(stacked, self.recorder)
+        else:
+            for lv in levels:
+                self.apply_op_fn(lv, self.recorder)
+                ops.residual(lv, self.recorder)
         local = [lv.r.max_abs_interior() for lv in levels]
         if self.recorder is not None:
             self.recorder.reduction()

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.comm.topology import CartTopology
 from repro.harness.vcycle_sim import TimedSolve, WorkloadConfig
 from repro.machines.network import exchange_time, message_time
 from repro.machines.specs import MachineSpec

@@ -21,7 +21,7 @@ run-and-eyeball script.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 

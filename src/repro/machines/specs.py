@@ -12,7 +12,7 @@ Units: GB/s are 1e9 bytes/s, GFLOP/s are 1e9 FLOP/s, times in seconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Mapping
 

@@ -1,6 +1,5 @@
 """AMR load-balancing preview (Section IX future work)."""
 
-import numpy as np
 import pytest
 
 from repro.harness.amr_preview import (

@@ -9,7 +9,6 @@ mix-up shows up as a numeric mismatch.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -10,7 +10,6 @@ from repro.dsl import (
     SMOOTH,
     SMOOTH_RESIDUAL,
     CompiledKernel,
-    ConstRef,
     Grid,
     Stencil,
     compile_stencil,

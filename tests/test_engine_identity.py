@@ -1,0 +1,117 @@
+"""Engine identity suite: every engine configuration is bit-identical.
+
+The execution engine (halo-resident storage, kernel fusion, cross-rank
+batching — :mod:`repro.gmg.engine`) only changes *how* kernels execute,
+never *what* they compute: for any solver configuration, the committed
+residual history and the assembled solution must be byte-equal to the
+seed path's.  This suite pins that contract across smoothers, cycle
+types, rank decompositions, bottom solvers and active fault plans.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, ResilienceConfig
+from repro.gmg import GMGSolver, SolverConfig
+
+ENGINE_MODES = {
+    "halo": dict(halo_resident=True),
+    "fuse": dict(fuse_kernels=True),
+    "batch": dict(batch_ranks=True),
+    "halo+fuse": dict(halo_resident=True, fuse_kernels=True),
+    "full": dict(halo_resident=True, fuse_kernels=True, batch_ranks=True),
+}
+
+
+def small_config(**overrides) -> SolverConfig:
+    base = dict(
+        global_cells=16,
+        num_levels=2,
+        brick_dim=4,
+        max_smooths=4,
+        bottom_smooths=12,
+        max_vcycles=6,
+    )
+    base.update(overrides)
+    return SolverConfig(**base)
+
+
+def run(config: SolverConfig, **solver_kwargs):
+    solver = GMGSolver(config, **solver_kwargs)
+    result = solver.solve()
+    return result, solver.solution()
+
+
+def assert_identical(config_kwargs, engine_flags, **solver_kwargs):
+    ref_result, ref_solution = run(small_config(**config_kwargs), **solver_kwargs)
+    result, solution = run(
+        small_config(**config_kwargs, **engine_flags), **solver_kwargs
+    )
+    assert result.status == ref_result.status
+    assert result.num_vcycles == ref_result.num_vcycles
+    assert result.residual_history == ref_result.residual_history
+    np.testing.assert_array_equal(solution, ref_solution)
+
+
+@pytest.mark.parametrize("mode", ENGINE_MODES)
+class TestEngineModes:
+    def test_default_problem(self, mode):
+        assert_identical({}, ENGINE_MODES[mode])
+
+    def test_multi_rank(self, mode):
+        assert_identical({"rank_dims": (2, 1, 1)}, ENGINE_MODES[mode])
+
+
+@pytest.mark.parametrize("smoother", ["jacobi", "gsrb", "sor", "chebyshev"])
+@pytest.mark.parametrize("cycle", ["V", "W", "F"])
+class TestFullEngineAcrossAlgorithms:
+    def test_smoother_cycle(self, smoother, cycle):
+        assert_identical(
+            {"smoother": smoother, "cycle": cycle}, ENGINE_MODES["full"]
+        )
+
+
+class TestFullEngineVariants:
+    @pytest.mark.parametrize("bottom", ["relaxation", "cg", "fft"])
+    def test_bottom_solvers(self, bottom):
+        assert_identical({"bottom_solver": bottom}, ENGINE_MODES["full"])
+
+    def test_three_levels(self):
+        assert_identical(
+            {"global_cells": 32, "num_levels": 3}, ENGINE_MODES["full"]
+        )
+
+    def test_fp32(self):
+        assert_identical({"precision": "fp32"}, ENGINE_MODES["full"])
+
+    @pytest.mark.parametrize("boundary", ["dirichlet", "neumann"])
+    def test_nonperiodic_boundaries(self, boundary):
+        assert_identical({"boundary": boundary}, ENGINE_MODES["full"])
+
+    def test_two_by_two_ranks(self):
+        assert_identical({"rank_dims": (2, 2, 1)}, ENGINE_MODES["full"])
+
+
+class TestEngineUnderFaults:
+    """Fault detection, retry and rollback address per-rank fields; the
+    engine's stacked storage must alias them transparently, so a faulty
+    run recovers to the same history with any engine configuration."""
+
+    @pytest.mark.parametrize("mode", ["halo", "full"])
+    def test_recovery_is_identical(self, mode):
+        plan = FaultPlan.single("drop", vcycle=1, level=0)
+        cfg = {"rank_dims": (2, 1, 1)}
+        ref_result, ref_solution = run(small_config(**cfg), fault_plan=plan)
+        result, solution = run(
+            small_config(**cfg, **ENGINE_MODES[mode]), fault_plan=plan
+        )
+        assert result.status == ref_result.status
+        assert result.residual_history == ref_result.residual_history
+        assert result.rollbacks == ref_result.rollbacks
+        np.testing.assert_array_equal(solution, ref_solution)
+
+    def test_checkpointed_resilience_identical(self):
+        res = ResilienceConfig()
+        assert_identical(
+            {"rank_dims": (2, 1, 1)}, ENGINE_MODES["full"], resilience=res
+        )

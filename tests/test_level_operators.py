@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from tests.conftest import reference_apply_op
-from repro.bricks import BrickedArray
 from repro.gmg import operators as ops
 from repro.gmg.level import Level, level_brick_dim
 from repro.gmg.problem import rhs_field

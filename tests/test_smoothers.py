@@ -155,3 +155,46 @@ class TestFullSolves:
     def test_unknown_smoother_rejected_in_config(self):
         with pytest.raises(ValueError, match="unknown smoother"):
             SolverConfig(**BASE, smoother="ilu")
+
+
+class TestColorMaskCache:
+    """The chequerboard masks are cached per *grid object*, weakly.
+
+    Regression: an ``id()``-keyed cache can alias a recycled id onto a
+    new, differently-shaped grid once the original is garbage-collected,
+    serving masks of the wrong shape; a ``WeakKeyDictionary`` keyed by
+    the grid itself cannot, and also drops entries with dead grids.
+    """
+
+    def test_masks_cached_per_grid(self, level):
+        sm = RedBlackGaussSeidelSmoother()
+        red1, black1 = sm._color_masks(level)
+        red2, black2 = sm._color_masks(level)
+        assert red1 is red2 and black1 is black2
+        assert red1.shape == level.x.data.shape
+        np.testing.assert_array_equal(red1, ~black1)
+
+    def test_new_grid_never_sees_stale_masks(self, rng):
+        """Churn through many short-lived levels of different shapes:
+        every one must get masks of its own shape, even when ids are
+        recycled by the allocator."""
+        import gc
+
+        sm = RedBlackGaussSeidelSmoother()
+        for n in (8, 16, 8, 12, 8, 16):
+            lv = Level(0, (n, n, n), 4, h=1 / n)
+            red, _ = sm._color_masks(lv)
+            assert red.shape == lv.x.data.shape, n
+            del lv
+            gc.collect()
+
+    def test_cache_does_not_pin_dead_grids(self):
+        import gc
+
+        sm = RedBlackGaussSeidelSmoother()
+        lv = Level(0, (8, 8, 8), 4, h=1 / 8)
+        sm._color_masks(lv)
+        assert len(sm._masks) == 1
+        del lv
+        gc.collect()
+        assert len(sm._masks) == 0
