@@ -14,11 +14,11 @@ import sys
 import numpy as np
 
 
-def _cmd_solve(args: argparse.Namespace) -> int:
-    from repro.gmg import GMGSolver, SolverConfig
+def _solver_config(args: argparse.Namespace):
+    from repro.gmg import SolverConfig
 
     dims = tuple(int(v) for v in args.ranks.split(","))
-    config = SolverConfig(
+    return SolverConfig(
         global_cells=args.size,
         num_levels=args.levels,
         brick_dim=args.brick,
@@ -35,7 +35,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         fuse_kernels=args.engine in ("fuse", "full"),
         batch_ranks=args.engine in ("batch", "full"),
     )
-    solver = GMGSolver(config)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.gmg import GMGSolver
+
+    config = _solver_config(args)
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    solver = GMGSolver(config, tracer=tracer)
     print(
         f"solving {args.size}^3 over {config.num_ranks} rank(s), "
         f"{args.levels} levels, {args.brick}^3 bricks, "
@@ -50,6 +61,25 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         f"converged={result.converged} in {result.num_vcycles} cycles "
         f"(convergence factor {result.convergence_factor:.3f})"
     )
+    if tracer is not None:
+        from repro.obs import span_coverage, write_chrome_trace
+
+        write_chrome_trace(
+            tracer,
+            args.trace,
+            metadata={
+                "tool": "repro solve",
+                "global_cells": config.global_cells,
+                "num_levels": config.num_levels,
+                "status": result.status,
+            },
+        )
+        print(
+            f"wrote trace to {args.trace} ({len(tracer.spans)} spans, "
+            f"{len(tracer.instants)} instants, span coverage "
+            f"{span_coverage(tracer):.1%}; open in chrome://tracing or "
+            f"https://ui.perfetto.dev)"
+        )
     if args.verify:
         from repro.gmg import discrete_solution
         from repro.gmg.problem import discrete_solution_dirichlet
@@ -64,6 +94,30 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         err = float(np.abs(solver.solution() - exact).max())
         print(f"max error vs closed-form discrete solution: {err:.3e}")
     return 0 if result.converged else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import profile_solve, validate_chrome_trace_file
+
+    config = _solver_config(args)
+    machine = None if args.machine == "none" else args.machine
+    report = profile_solve(config, machine_name=machine, trace_path=args.trace)
+    print(report.render())
+    if args.trace:
+        counts = validate_chrome_trace_file(args.trace)
+        print(
+            f"wrote trace to {args.trace} ({counts['spans']} spans, "
+            f"{counts['instants']} instants; open in chrome://tracing or "
+            f"https://ui.perfetto.dev)"
+        )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_json(), fh, indent=1)
+        print(f"wrote profile JSON to {args.json}")
+    ok = report.result.status in ("converged", "max_vcycles")
+    return 0 if ok and report.coverage >= 0.95 else 1
 
 
 def _experiment_commands() -> dict:
@@ -163,38 +217,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    solve = sub.add_parser("solve", help="run the functional GMG solver")
-    solve.add_argument("-s", "--size", type=int, default=32,
+    def add_solver_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("-s", "--size", type=int, default=32,
                        help="global cells per dimension (default 32)")
-    solve.add_argument("-l", "--levels", type=int, default=3,
+        p.add_argument("-l", "--levels", type=int, default=3,
                        help="multigrid levels (default 3)")
-    solve.add_argument("-b", "--brick", type=int, default=4,
+        p.add_argument("-b", "--brick", type=int, default=4,
                        help="brick dimension (default 4)")
-    solve.add_argument("--smooths", type=int, default=12,
+        p.add_argument("--smooths", type=int, default=12,
                        help="smooths per level visit (default 12)")
-    solve.add_argument("--bottom", type=int, default=100,
+        p.add_argument("--bottom", type=int, default=100,
                        help="bottom-solver iterations (default 100)")
-    solve.add_argument("-n", "--max-cycles", type=int, default=100,
+        p.add_argument("-n", "--max-cycles", type=int, default=100,
                        help="maximum cycles (default 100)")
-    solve.add_argument("--ranks", default="1,1,1",
+        p.add_argument("--ranks", default="1,1,1",
                        help="rank grid, e.g. 2,2,2 (default 1,1,1)")
-    solve.add_argument("--smoother", default="jacobi",
+        p.add_argument("--smoother", default="jacobi",
                        choices=["jacobi", "gsrb", "sor", "chebyshev"])
-    solve.add_argument("--bottom-solver", default="relaxation",
+        p.add_argument("--bottom-solver", default="relaxation",
                        choices=["relaxation", "cg", "fft"])
-    solve.add_argument("--cycle", default="V", choices=["V", "W", "F"])
-    solve.add_argument("--boundary", default="periodic",
+        p.add_argument("--cycle", default="V", choices=["V", "W", "F"])
+        p.add_argument("--boundary", default="periodic",
                        choices=["periodic", "dirichlet", "neumann"])
-    solve.add_argument("--engine", default="off",
+        p.add_argument("--engine", default="off",
                        choices=["off", "halo", "fuse", "batch", "full"],
                        help="execution engine: halo-resident storage, "
                             "fused kernels, cross-rank batching, or all "
                             "three (bit-identical to 'off', faster)")
-    solve.add_argument("--no-ca", action="store_true",
+        p.add_argument("--no-ca", action="store_true",
                        help="disable communication-avoiding smoothing")
+        p.add_argument("--trace", metavar="FILE",
+                       help="write a Chrome trace-event JSON of the solve "
+                            "(open in chrome://tracing or Perfetto)")
+
+    solve = sub.add_parser("solve", help="run the functional GMG solver")
+    add_solver_args(solve)
     solve.add_argument("--verify", action="store_true",
                        help="check against the closed-form solution")
     solve.set_defaults(func=_cmd_solve)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a traced solve and print the measured per-level "
+             "breakdown next to the machine model's predictions",
+    )
+    add_solver_args(profile)
+    profile.add_argument(
+        "--machine",
+        default="Perlmutter",
+        choices=["Perlmutter", "Frontier", "Sunspot", "none"],
+        help="machine model for the predicted column ('none' to skip)",
+    )
+    profile.add_argument("--json", metavar="FILE",
+                         help="also write the profile report as JSON")
+    profile.set_defaults(func=_cmd_profile)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"

@@ -38,6 +38,7 @@ from repro.bricks.orderings import contiguous_segments
 from repro.comm.simmpi import SimComm, UnmatchedReceiveError
 from repro.comm.topology import CartTopology
 from repro.instrument import Recorder
+from repro.obs.tracer import NULL_TRACER
 
 
 class ExchangeFaultError(RuntimeError):
@@ -89,11 +90,13 @@ class LocalPeriodicExchange:
         grid: BrickGrid,
         recorder: Recorder | None = None,
         boundary=None,
+        tracer=None,
     ) -> None:
         from repro.gmg.boundary import BoundaryCondition, BoundaryFill
 
         self.grid = grid
         self.recorder = recorder
+        self.tracer = tracer or NULL_TRACER
         self.boundary = boundary or BoundaryCondition.PERIODIC
         self._fill = None
         if self.boundary is not BoundaryCondition.PERIODIC:
@@ -110,14 +113,19 @@ class LocalPeriodicExchange:
         """Fill ghost shells; ``fields_by_rank`` is ``[[fields of rank 0]]``."""
         if len(fields_by_rank) != 1:
             raise ValueError("LocalPeriodicExchange serves exactly one rank")
-        for field in fields_by_rank[0]:
-            if field.grid is not self.grid:
-                raise ValueError("field grid does not match the exchanger's grid")
-            if self._fill is None:
-                field.fill_ghost_periodic()
-            else:
-                field.zero_ghost()
-                self._fill.apply(field)
+        with self.tracer.span(
+            "exchange", l=level, nfields=len(fields_by_rank[0])
+        ):
+            for field in fields_by_rank[0]:
+                if field.grid is not self.grid:
+                    raise ValueError(
+                        "field grid does not match the exchanger's grid"
+                    )
+                if self._fill is None:
+                    field.fill_ghost_periodic()
+                else:
+                    field.zero_ghost()
+                    self._fill.apply(field)
         if self._fill is not None:
             if self.recorder is not None:
                 self.recorder.exchange(level)
@@ -161,6 +169,7 @@ class HaloExchange:
         boundary=None,
         injector=None,
         max_retries: int = 3,
+        tracer=None,
     ) -> None:
         from repro.gmg.boundary import BoundaryCondition, BoundaryFill
 
@@ -174,6 +183,7 @@ class HaloExchange:
         self.topology = topology
         self.comm = comm
         self.recorder = recorder
+        self.tracer = tracer or NULL_TRACER
         #: optional FaultInjector; when set, sends carry checksums and
         #: receives validate, discard duplicates, and retry via
         #: retransmission instead of raising on the first anomaly.
@@ -216,9 +226,19 @@ class HaloExchange:
     ) -> None:
         """Exchange ghost bricks for every rank's listed fields.
 
-        ``fields_by_rank[rank]`` is the (ordered) list of fields to
-        aggregate; all ranks must pass the same number of fields.
+        ``fields_by_rank`` is the (ordered) list of fields to
+        aggregate per rank; all ranks must pass the same number of
+        fields.  The whole collective phase (sends, receives including
+        any fault retries, boundary fills) runs inside one ``exchange``
+        span, so fault instants fired during receives land inside it.
         """
+        nfields = len(fields_by_rank[0]) if fields_by_rank else 0
+        with self.tracer.span("exchange", l=level, nfields=nfields):
+            self._exchange(level, fields_by_rank)
+
+    def _exchange(
+        self, level: int, fields_by_rank: Sequence[Sequence[BrickedArray]]
+    ) -> None:
         size = self.topology.size
         if len(fields_by_rank) != size:
             raise ValueError(

@@ -21,12 +21,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.gmg.level import Level
+from repro.obs.tracer import NULL_TRACER
 
 
 class BottomSolver:
     """Interface: solve ``A x = b`` on the coarsest level of all ranks."""
 
     name: str = "abstract"
+    #: span tracer; rebound by the V-cycle driver when tracing is on
+    #: (the driver also wraps the whole call in a ``bottom`` span —
+    #: solver-internal spans below add the per-phase detail)
+    tracer = NULL_TRACER
 
     def solve(self, vcycle, lev: int) -> None:
         """``vcycle`` is the running :class:`repro.gmg.vcycle.VCycle`."""
@@ -107,7 +112,8 @@ class ConjugateGradientBottomSolver(BottomSolver):
         """Ax <- A x with a fresh ghost exchange (radius-1 stencil)."""
         vcycle.exchangers[lev].exchange(lev, [[lv.x] for lv in levels])
         for lv in levels:
-            vcycle.apply_op_fn(lv, vcycle.recorder)
+            with self.tracer.span("applyOp", l=lev):
+                vcycle.apply_op_fn(lv, vcycle.recorder)
 
     def solve(self, vcycle, lev: int) -> None:
         from repro.gmg import operators as ops
@@ -126,37 +132,38 @@ class ConjugateGradientBottomSolver(BottomSolver):
         if rr == 0.0:
             return
         rr0 = rr
-        for _ in range(self.max_iterations):
-            # Ap through the bricked operator: stage p in the x slot of
-            # a scratch view by temporarily swapping buffers
-            saved_x = [lv.x.data for lv in levels]
-            for lv, pv in zip(levels, p):
-                lv.x.data = pv
-            self._apply_operator(vcycle, lev, levels)
-            Ap = [lv.Ax.data.copy() for lv in levels]
-            for lv, xv in zip(levels, saved_x):
-                lv.x.data = xv
+        for it in range(self.max_iterations):
+            with self.tracer.span("cg-iteration", l=lev, i=it):
+                # Ap through the bricked operator: stage p in the x slot
+                # of a scratch view by temporarily swapping buffers
+                saved_x = [lv.x.data for lv in levels]
+                for lv, pv in zip(levels, p):
+                    lv.x.data = pv
+                self._apply_operator(vcycle, lev, levels)
+                Ap = [lv.Ax.data.copy() for lv in levels]
+                for lv, xv in zip(levels, saved_x):
+                    lv.x.data = xv
 
-            pAp_local = [
-                float(np.sum(pv[sl] * ap[sl]))
-                for pv, ap, sl in zip(p, Ap, interior)
-            ]
-            if vcycle.recorder is not None:
-                vcycle.recorder.reduction()
-            pAp = vcycle.allreduce_sum(pAp_local)
-            if pAp == 0.0:
-                break
-            alpha = rr / pAp
-            for lv, pv, ap in zip(levels, p, Ap):
-                lv.x.data += alpha * pv
-                lv.r.data -= alpha * ap
-            rr_new = self._dot(vcycle, levels, "r", "r")
-            if rr_new <= self.rtol**2 * rr0:
-                break
-            beta = rr_new / rr
-            for i, (lv, pv) in enumerate(zip(levels, p)):
-                p[i] = lv.r.data + beta * pv
-            rr = rr_new
+                pAp_local = [
+                    float(np.sum(pv[sl] * ap[sl]))
+                    for pv, ap, sl in zip(p, Ap, interior)
+                ]
+                if vcycle.recorder is not None:
+                    vcycle.recorder.reduction()
+                pAp = vcycle.allreduce_sum(pAp_local)
+                if pAp == 0.0:
+                    break
+                alpha = rr / pAp
+                for lv, pv, ap in zip(levels, p, Ap):
+                    lv.x.data += alpha * pv
+                    lv.r.data -= alpha * ap
+                rr_new = self._dot(vcycle, levels, "r", "r")
+                if rr_new <= self.rtol**2 * rr0:
+                    break
+                beta = rr_new / rr
+                for i, (lv, pv) in enumerate(zip(levels, p)):
+                    p[i] = lv.r.data + beta * pv
+                rr = rr_new
         if self.project_nullspace:
             self._project_out_nullspace(vcycle, levels, "x")
 
@@ -172,6 +179,10 @@ class FFTBottomSolver(BottomSolver):
     name = "fft"
 
     def solve(self, vcycle, lev: int) -> None:
+        with self.tracer.span("fft-bottom", l=lev):
+            self._solve(vcycle, lev)
+
+    def _solve(self, vcycle, lev: int) -> None:
         levels = vcycle.levels_at(lev)
         topo = vcycle.topology
         cells = levels[0].shape_cells

@@ -43,6 +43,7 @@ from repro.bricks.batch import BatchedGrid
 from repro.bricks.bricked_array import BrickedArray
 from repro.gmg import operators as ops
 from repro.gmg.level import Level
+from repro.obs.tracer import NULL_TRACER
 
 #: halo width of every stencil in the library (7-point operator)
 STENCIL_RADIUS = 1
@@ -133,12 +134,16 @@ class ExecutionEngine:
     """
 
     def __init__(
-        self, rank_levels: Sequence[Sequence[Level]], config: EngineConfig
+        self,
+        rank_levels: Sequence[Sequence[Level]],
+        config: EngineConfig,
+        tracer=None,
     ) -> None:
         self.config = config
         self.rank_levels = rank_levels
         self.num_ranks = len(rank_levels)
         self.num_levels = len(rank_levels[0])
+        self.tracer = tracer or NULL_TRACER
         #: per depth: the stacked level, or None when batching is off
         self.stacked: list[_StackedLevel | None] = [None] * self.num_levels
         #: physical extended storage pays off only without fusion: the
@@ -148,25 +153,26 @@ class ExecutionEngine:
         #: stay packed (contiguous), which profiles decisively faster
         #: than strided extended views in NumPy
         self.ext_storage = config.halo_resident and not config.fuse_kernels
-        if config.batch_ranks:
-            self._adopt_batched()
-        elif self.ext_storage:
-            self._adopt_resident()
-        if config.fuse_kernels:
+        with self.tracer.span("engine-adopt", mode=config.describe()):
+            if config.batch_ranks:
+                self._adopt_batched()
+            elif self.ext_storage:
+                self._adopt_resident()
+            if config.fuse_kernels:
+                for levels in rank_levels:
+                    for lv in levels:
+                        lv.fused_kernels = True
+                for st in self.stacked:
+                    if st is not None:
+                        st.fused_kernels = True
             for levels in rank_levels:
                 for lv in levels:
-                    lv.fused_kernels = True
+                    for f in lv.fields().values():
+                        f.planned_gather = True
             for st in self.stacked:
                 if st is not None:
-                    st.fused_kernels = True
-        for levels in rank_levels:
-            for lv in levels:
-                for f in lv.fields().values():
-                    f.planned_gather = True
-        for st in self.stacked:
-            if st is not None:
-                for f in st.fields().values():
-                    f.planned_gather = True
+                    for f in st.fields().values():
+                        f.planned_gather = True
 
     # ------------------------------------------------------------------
     def _adopt_resident(self) -> None:

@@ -48,33 +48,41 @@ from repro.dsl.library import (
 )
 from repro.gmg.level import Level
 from repro.instrument import Recorder
+from repro.obs.tracer import NULL_TRACER
 
 
-def _apply_op(level: Level, recorder: Recorder | None) -> None:
-    kernel = compile_stencil(APPLY_OP, level.grid.brick_dim)
-    kernel.apply(level.fields(), level.constants.as_dict(), level.workspace)
+def _apply_op(level: Level, recorder: Recorder | None, tracer=NULL_TRACER) -> None:
+    with tracer.span("applyOp", l=level.index):
+        kernel = compile_stencil(APPLY_OP, level.grid.brick_dim)
+        kernel.apply(level.fields(), level.constants.as_dict(), level.workspace)
     if recorder is not None:
         recorder.kernel(level.index, "applyOp", level.num_points)
 
 
-def _residual(level: Level, recorder: Recorder | None) -> None:
-    kernel = compile_stencil(RESIDUAL, level.grid.brick_dim)
-    kernel.apply(level.fields(), {}, level.workspace)
+def _residual(level: Level, recorder: Recorder | None, tracer=NULL_TRACER) -> None:
+    with tracer.span("residual", l=level.index):
+        kernel = compile_stencil(RESIDUAL, level.grid.brick_dim)
+        kernel.apply(level.fields(), {}, level.workspace)
     if recorder is not None:
         recorder.kernel(level.index, "residual", level.num_points)
 
 
-def _apply_op_residual(level: Level, recorder: Recorder | None) -> None:
+def _apply_op_residual(
+    level: Level, recorder: Recorder | None, tracer=NULL_TRACER
+) -> None:
     """``Ax = A x`` and ``r = b - Ax`` — one fused kernel when the level
     runs under the engine's fused mode, the staged pair otherwise."""
     if level.fused_kernels:
-        kernel = compile_stencil(FUSED_APPLY_RESIDUAL, level.grid.brick_dim)
-        kernel.apply(level.fields(), level.constants.as_dict(), level.workspace)
+        with tracer.span(FUSED_APPLY_RESIDUAL.name, l=level.index):
+            kernel = compile_stencil(FUSED_APPLY_RESIDUAL, level.grid.brick_dim)
+            kernel.apply(
+                level.fields(), level.constants.as_dict(), level.workspace
+            )
         if recorder is not None:
             recorder.kernel(level.index, FUSED_APPLY_RESIDUAL.name, level.num_points)
         return
-    _apply_op(level, recorder)
-    _residual(level, recorder)
+    _apply_op(level, recorder, tracer)
+    _residual(level, recorder, tracer)
 
 
 def _scratch(level: Level, name: str) -> np.ndarray:
@@ -102,6 +110,9 @@ class Smoother:
 
     name: str = "abstract"
     ghost_cells_per_iteration: int = 1
+    #: span tracer; the V-cycle driver rebinds this when tracing is on,
+    #: so the default path pays only the null tracer's no-op calls
+    tracer = NULL_TRACER
 
     def iterate(
         self, level: Level, with_residual: bool, recorder: Recorder | None
@@ -144,15 +155,19 @@ class JacobiSmoother(Smoother):
             # substituted into the update (and residual) expressions and
             # CSE-hoisted, so the float sequence matches the staged path
             stencil = FUSED_SMOOTH_RESIDUAL if with_residual else FUSED_SMOOTH
-            kernel = compile_stencil(stencil, level.grid.brick_dim)
-            kernel.apply(level.fields(), self._constants(level), level.workspace)
+            with self.tracer.span(stencil.name, l=level.index):
+                kernel = compile_stencil(stencil, level.grid.brick_dim)
+                kernel.apply(
+                    level.fields(), self._constants(level), level.workspace
+                )
             if recorder is not None:
                 recorder.kernel(level.index, stencil.name, level.num_points)
             return
-        _apply_op(level, recorder)
+        _apply_op(level, recorder, self.tracer)
         stencil = SMOOTH_RESIDUAL if with_residual else SMOOTH
-        kernel = compile_stencil(stencil, level.grid.brick_dim)
-        kernel.apply(level.fields(), self._constants(level), level.workspace)
+        with self.tracer.span(stencil.name, l=level.index):
+            kernel = compile_stencil(stencil, level.grid.brick_dim)
+            kernel.apply(level.fields(), self._constants(level), level.workspace)
         if recorder is not None:
             recorder.kernel(level.index, stencil.name, level.num_points)
 
@@ -206,8 +221,9 @@ class _ColoredSmoother(Smoother):
         recorder: Recorder | None,
         op_label: str,
     ) -> None:
-        _apply_op(level, recorder)
-        self._masked_update(level, mask)
+        _apply_op(level, recorder, self.tracer)
+        with self.tracer.span(op_label, l=level.index):
+            self._masked_update(level, mask)
         if recorder is not None:
             recorder.kernel(level.index, op_label, level.num_points // 2)
 
@@ -235,7 +251,7 @@ class _ColoredSmoother(Smoother):
         if with_residual:
             # pre-update residual (Algorithm 2's convention) reuses the
             # red half-sweep's operator application
-            _apply_op_residual(level, recorder)
+            _apply_op_residual(level, recorder, self.tracer)
             self._half_sweep_given_ax(level, red, recorder)
         else:
             self._half_sweep(level, red, recorder, self._half_label)
@@ -244,7 +260,8 @@ class _ColoredSmoother(Smoother):
     def _half_sweep_given_ax(
         self, level: Level, mask: np.ndarray, recorder: Recorder | None
     ) -> None:
-        self._masked_update(level, mask)
+        with self.tracer.span(self._half_label, l=level.index):
+            self._masked_update(level, mask)
         if recorder is not None:
             recorder.kernel(level.index, self._half_label, level.num_points // 2)
 
@@ -315,28 +332,30 @@ class ChebyshevSmoother(Smoother):
         z = _scratch(level, "cheb_z")
         d = _scratch(level, "cheb_d")
         if with_residual:
-            _apply_op_residual(level, recorder)
+            _apply_op_residual(level, recorder, self.tracer)
         else:
-            _apply_op(level, recorder)
-        np.subtract(level.b.data, level.Ax.data, out=r)
-        # Chebyshev iteration on the preconditioned residual equation
-        # (standard three-term recurrence, e.g. Saad, Alg. 12.1)
-        dinv = 1.0 / c.alpha
-        np.multiply(r, dinv, out=z)
-        np.divide(z, theta, out=d)
-        x += d
+            _apply_op(level, recorder, self.tracer)
+        with self.tracer.span("chebyshev-update", l=level.index):
+            np.subtract(level.b.data, level.Ax.data, out=r)
+            # Chebyshev iteration on the preconditioned residual equation
+            # (standard three-term recurrence, e.g. Saad, Alg. 12.1)
+            dinv = 1.0 / c.alpha
+            np.multiply(r, dinv, out=z)
+            np.divide(z, theta, out=d)
+            x += d
         sigma = theta / delta
         rho = 1.0 / sigma
         for _ in range(1, self.degree):
-            _apply_op(level, recorder)
-            np.subtract(level.b.data, level.Ax.data, out=r)
-            np.multiply(r, dinv, out=z)
-            rho_new = 1.0 / (2.0 * sigma - rho)
-            # d = (rho_new * rho) * d + (2 rho_new / delta) * z, in place
-            np.multiply(d, rho_new * rho, out=d)
-            np.multiply(z, 2.0 * rho_new / delta, out=z)
-            np.add(d, z, out=d)
-            x += d
+            _apply_op(level, recorder, self.tracer)
+            with self.tracer.span("chebyshev-update", l=level.index):
+                np.subtract(level.b.data, level.Ax.data, out=r)
+                np.multiply(r, dinv, out=z)
+                rho_new = 1.0 / (2.0 * sigma - rho)
+                # d = (rho_new * rho) * d + (2 rho_new / delta) * z, in place
+                np.multiply(d, rho_new * rho, out=d)
+                np.multiply(z, 2.0 * rho_new / delta, out=z)
+                np.add(d, z, out=d)
+                x += d
             rho = rho_new
         if recorder is not None:
             recorder.kernel(level.index, "chebyshev-update", level.num_points)

@@ -210,10 +210,23 @@ class GMGSolver:
         Optional :class:`~repro.faults.plan.FaultPlan` of faults to
         inject; anomalies are detected and recovered (or degrade to a
         ``failed_faults`` status) rather than raising.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer` recording
+        wall-clock spans for every solve phase (and fault instants).
+        Defaults to the shared null tracer — the untraced path is the
+        production fast path (<2% overhead budget, measured by
+        ``benchmarks/bench_trace_overhead.py``).
     """
 
-    def __init__(self, config: SolverConfig, resilience=None, fault_plan=None) -> None:
+    def __init__(
+        self,
+        config: SolverConfig,
+        resilience=None,
+        fault_plan=None,
+        tracer=None,
+    ) -> None:
         from repro.gmg.boundary import BoundaryCondition
+        from repro.obs.tracer import NULL_TRACER
 
         if fault_plan is not None and resilience is None:
             from repro.faults.recovery import ResilienceConfig
@@ -221,7 +234,12 @@ class GMGSolver:
             resilience = ResilienceConfig()
         self.config = config
         self.resilience = resilience
+        self.tracer = tracer or NULL_TRACER
         self.recorder = Recorder()
+        if self.tracer.enabled:
+            # fault events mirror into the trace as zero-duration
+            # instants inside whatever span was open when they fired
+            self.recorder.tracer = self.tracer
         self.injector = None
         if fault_plan is not None and not fault_plan.empty:
             from repro.faults.injector import FaultInjector
@@ -259,7 +277,9 @@ class GMGSolver:
             grid = self.rank_levels[0][lev].grid
             if self.comm is None:
                 self.exchangers.append(
-                    LocalPeriodicExchange(grid, self.recorder, self.boundary)
+                    LocalPeriodicExchange(
+                        grid, self.recorder, self.boundary, tracer=self.tracer
+                    )
                 )
             else:
                 self.exchangers.append(
@@ -275,6 +295,7 @@ class GMGSolver:
                             if self.resilience is not None
                             else 3
                         ),
+                        tracer=self.tracer,
                     )
                 )
 
@@ -291,7 +312,9 @@ class GMGSolver:
         if engine_config.enabled:
             # adopt after _init_rhs so the stacked/extended storage
             # inherits the initialised right-hand side
-            self.engine = ExecutionEngine(self.rank_levels, engine_config)
+            self.engine = ExecutionEngine(
+                self.rank_levels, engine_config, tracer=self.tracer
+            )
 
         bottom_kwargs = dict(config.bottom_options)
         if config.bottom_solver == "relaxation" and "iterations" not in bottom_kwargs:
@@ -315,6 +338,7 @@ class GMGSolver:
             topology=self.topology,
             fault_injector=self.injector,
             engine=self.engine,
+            tracer=self.tracer,
         )
 
     def _init_rhs(self) -> None:
@@ -335,18 +359,30 @@ class GMGSolver:
         detect → retry → rollback → degrade loop instead; the two paths
         perform identical numeric operations when no fault fires, so
         results are bit-identical in the fault-free case.
+
+        The whole call runs inside a root ``solve`` span when a tracer
+        is attached (the span tree underneath covers the V-cycles,
+        residual checks and every phase inside them).
         """
-        if self.resilience is None and self.injector is None:
-            history = self.vcycle.solve(self.config.tol, self.config.max_vcycles)
-            if self.comm is not None:
-                self.comm.assert_drained()
-            return SolveResult(
-                converged=history[-1] <= self.config.tol,
-                num_vcycles=len(history) - 1,
-                residual_history=history,
-                recorder=self.recorder,
-            )
-        return self._solve_resilient()
+        with self.tracer.span(
+            "solve",
+            cells=self.config.global_cells,
+            levels=self.config.num_levels,
+            ranks=self.config.num_ranks,
+        ):
+            if self.resilience is None and self.injector is None:
+                history = self.vcycle.solve(
+                    self.config.tol, self.config.max_vcycles
+                )
+                if self.comm is not None:
+                    self.comm.assert_drained()
+                return SolveResult(
+                    converged=history[-1] <= self.config.tol,
+                    num_vcycles=len(history) - 1,
+                    residual_history=history,
+                    recorder=self.recorder,
+                )
+            return self._solve_resilient()
 
     def _solve_resilient(self) -> SolveResult:
         from repro.faults.recovery import STATUS_FAILED_FAULTS, ResilientDriver

@@ -37,6 +37,7 @@ from repro.gmg.level import Level
 from repro.gmg.problem import CONVERGENCE_TOL
 from repro.gmg.smoothers import JacobiSmoother, Smoother
 from repro.instrument import Recorder
+from repro.obs.tracer import NULL_TRACER
 
 CYCLE_TYPES = ("V", "W", "F")
 
@@ -105,6 +106,7 @@ class VCycle:
         apply_op_fn=None,
         fault_injector=None,
         engine=None,
+        tracer=None,
     ) -> None:
         if not rank_levels or not rank_levels[0]:
             raise ValueError("need at least one rank with at least one level")
@@ -135,6 +137,13 @@ class VCycle:
         #: optional ExecutionEngine (repro.gmg.engine): batched/fused/
         #: halo-resident execution, bit-identical to the per-rank path
         self.engine = engine
+        #: span tracer (repro.obs); the shared null tracer when tracing
+        #: is off, so the hot path never branches on "is tracing on?"
+        self.tracer = tracer or NULL_TRACER
+        self.smoother.tracer = self.tracer
+        self.bottom_solver.tracer = self.tracer
+        #: cycles executed so far — the ``v`` attribute of vcycle spans
+        self.cycles_run = 0
         # NaN-propagating default (np.max) so a poisoned local residual
         # surfaces in the health checks of single-rank runs too.
         self._allreduce_max = allreduce_max or (lambda values: float(np.max(values)))
@@ -188,27 +197,28 @@ class VCycle:
         budget = self.iterations_per_exchange(lev) * per_iter
         ghost_valid = 0
         b_exchanged = False
-        for _ in range(iterations):
-            if ghost_valid < per_iter:
-                if b_exchanged:
-                    fields = [[lv.x] for lv in levels]
+        with self.tracer.span("smooth-visit", l=lev, n=iterations):
+            for _ in range(iterations):
+                if ghost_valid < per_iter:
+                    if b_exchanged:
+                        fields = [[lv.x] for lv in levels]
+                    else:
+                        fields = [[lv.x, lv.b] for lv in levels]
+                        b_exchanged = True
+                    self.exchangers[lev].exchange(lev, fields)
+                    ghost_valid = budget
+                if stacked is not None:
+                    self.smoother.iterate(stacked, with_residual, self.recorder)
                 else:
-                    fields = [[lv.x, lv.b] for lv in levels]
-                    b_exchanged = True
-                self.exchangers[lev].exchange(lev, fields)
-                ghost_valid = budget
-            if stacked is not None:
-                self.smoother.iterate(stacked, with_residual, self.recorder)
-            else:
-                for lv in levels:
-                    self.smoother.iterate(lv, with_residual, self.recorder)
-            ghost_valid -= per_iter
-        if self.fault_injector is not None:
-            # Silent-data-corruption model: the smoother "wrote" a bad
-            # value into its output field on whichever ranks the plan
-            # targets at this (vcycle, level).
-            for rank, lv in enumerate(levels):
-                self.fault_injector.kernel_sdc(lev, rank, lv.x)
+                    for lv in levels:
+                        self.smoother.iterate(lv, with_residual, self.recorder)
+                ghost_valid -= per_iter
+            if self.fault_injector is not None:
+                # Silent-data-corruption model: the smoother "wrote" a bad
+                # value into its output field on whichever ranks the plan
+                # targets at this (vcycle, level).
+                for rank, lv in enumerate(levels):
+                    self.fault_injector.kernel_sdc(lev, rank, lv.x)
 
     # ------------------------------------------------------------------
     def _stacked_pair(self, lev: int):
@@ -220,70 +230,91 @@ class VCycle:
         pair = self._stacked_pair(lev)
         if pair is not None:
             # one vectorised brick-native restriction over all ranks
-            ops.restriction(pair[0], pair[1], self.recorder)
+            with self.tracer.span("restriction", l=lev):
+                ops.restriction(pair[0], pair[1], self.recorder)
+            with self.tracer.span("initZero", l=lev + 1):
+                for levels in self.rank_levels:
+                    levels[lev + 1].init_zero()
+                    if self.recorder is not None:
+                        self.recorder.kernel(
+                            lev + 1, "initZero", levels[lev + 1].num_points
+                        )
+            return
+        with self.tracer.span("restriction", l=lev):
+            for levels in self.rank_levels:
+                ops.restriction(levels[lev], levels[lev + 1], self.recorder)
+        with self.tracer.span("initZero", l=lev + 1):
             for levels in self.rank_levels:
                 levels[lev + 1].init_zero()
                 if self.recorder is not None:
                     self.recorder.kernel(
                         lev + 1, "initZero", levels[lev + 1].num_points
                     )
-            return
-        for levels in self.rank_levels:
-            ops.restriction(levels[lev], levels[lev + 1], self.recorder)
-            levels[lev + 1].init_zero()
-            if self.recorder is not None:
-                self.recorder.kernel(lev + 1, "initZero", levels[lev + 1].num_points)
 
     def _interpolate(self, lev: int) -> None:
-        pair = self._stacked_pair(lev)
-        if pair is not None:
-            ops.interpolation_increment(pair[1], pair[0], self.recorder)
-            return
-        for levels in self.rank_levels:
-            ops.interpolation_increment(levels[lev + 1], levels[lev], self.recorder)
+        with self.tracer.span("interpolation+increment", l=lev):
+            pair = self._stacked_pair(lev)
+            if pair is not None:
+                ops.interpolation_increment(pair[1], pair[0], self.recorder)
+                return
+            for levels in self.rank_levels:
+                ops.interpolation_increment(
+                    levels[lev + 1], levels[lev], self.recorder
+                )
 
     def _cycle(self, lev: int, kind: str) -> None:
         """Recursive multigrid cycle of the given kind at ``lev``."""
         if lev == self.num_levels - 1:
-            self.bottom_solver.solve(self, lev)
+            with self.tracer.span(
+                "bottom", l=lev, solver=self.bottom_solver.name
+            ):
+                self.bottom_solver.solve(self, lev)
             return
-        self.smooth_level(lev, self.max_smooths, with_residual=True)
-        self._restrict(lev)
-        if kind == "V":
-            self._cycle(lev + 1, "V")
-        elif kind == "W":
-            self._cycle(lev + 1, "W")
-            self._cycle(lev + 1, "W")
-        else:  # F: one F visit, then a V visit
-            self._cycle(lev + 1, "F")
-            self._cycle(lev + 1, "V")
-        self._interpolate(lev)
-        self.smooth_level(lev, self.max_smooths, with_residual=True)
+        with self.tracer.span("level", l=lev):
+            self.smooth_level(lev, self.max_smooths, with_residual=True)
+            self._restrict(lev)
+            if kind == "V":
+                self._cycle(lev + 1, "V")
+            elif kind == "W":
+                self._cycle(lev + 1, "W")
+                self._cycle(lev + 1, "W")
+            else:  # F: one F visit, then a V visit
+                self._cycle(lev + 1, "F")
+                self._cycle(lev + 1, "V")
+            self._interpolate(lev)
+            self.smooth_level(lev, self.max_smooths, with_residual=True)
 
     def run(self) -> None:
         """One multigrid cycle (Algorithm 2 when ``cycle == 'V'``)."""
-        self._cycle(0, self.cycle)
+        with self.tracer.span("vcycle", v=self.cycles_run, kind=self.cycle):
+            self._cycle(0, self.cycle)
+        self.cycles_run += 1
 
     def max_norm_residual(self) -> float:
         """Global max-norm of the finest-level residual (Algorithm 1)."""
-        levels = self.levels_at(0)
-        self.exchangers[0].exchange(0, [[lv.x] for lv in levels])
-        stacked = (
-            self.engine.stacked_level(0) if self.engine is not None else None
-        )
-        if stacked is not None and self.apply_op_fn is ops.apply_op:
-            # one vectorised applyOp + residual over all rank blocks;
-            # the per-rank local maxima read through the stacked views
-            ops.apply_op(stacked, self.recorder)
-            ops.residual(stacked, self.recorder)
-        else:
-            for lv in levels:
-                self.apply_op_fn(lv, self.recorder)
-                ops.residual(lv, self.recorder)
-        local = [lv.r.max_abs_interior() for lv in levels]
-        if self.recorder is not None:
-            self.recorder.reduction()
-        return float(self._allreduce_max(local))
+        with self.tracer.span("residual-check", v=self.cycles_run):
+            levels = self.levels_at(0)
+            self.exchangers[0].exchange(0, [[lv.x] for lv in levels])
+            stacked = (
+                self.engine.stacked_level(0) if self.engine is not None else None
+            )
+            if stacked is not None and self.apply_op_fn is ops.apply_op:
+                # one vectorised applyOp + residual over all rank blocks;
+                # the per-rank local maxima read through the stacked views
+                with self.tracer.span("applyOp", l=0):
+                    ops.apply_op(stacked, self.recorder)
+                with self.tracer.span("residual", l=0):
+                    ops.residual(stacked, self.recorder)
+            else:
+                for lv in levels:
+                    with self.tracer.span("applyOp", l=0):
+                        self.apply_op_fn(lv, self.recorder)
+                    with self.tracer.span("residual", l=0):
+                        ops.residual(lv, self.recorder)
+            local = [lv.r.max_abs_interior() for lv in levels]
+            if self.recorder is not None:
+                self.recorder.reduction()
+            return float(self._allreduce_max(local))
 
     def solve(
         self, tol: float = CONVERGENCE_TOL, max_vcycles: int = 100

@@ -86,13 +86,23 @@ class FaultEvent:
 
 @dataclass
 class Recorder:
-    """Accumulates kernel and message events for one solve."""
+    """Accumulates kernel and message events for one solve.
+
+    ``tracer`` is an optional :class:`repro.obs.tracer.Tracer`: every
+    fault event is mirrored as a zero-duration trace instant, so
+    injections, detections and recovery actions line up with the solve
+    phase (exchange, smooth, rollback) that was open when they fired.
+    All fault producers — the injector, the resilient exchange, the
+    recovery driver — funnel through :meth:`fault`, so this one hook
+    covers them all.
+    """
 
     kernels: list[KernelEvent] = field(default_factory=list)
     messages: list[MessageEvent] = field(default_factory=list)
     exchanges: defaultdict = field(default_factory=lambda: defaultdict(int))
     reductions: int = 0
     faults: list[FaultEvent] = field(default_factory=list)
+    tracer: object | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # event entry points
@@ -135,6 +145,11 @@ class Recorder:
         self.faults.append(
             FaultEvent(kind, vcycle, level, rank, src, tag, nbytes, attempt, detail)
         )
+        if self.tracer is not None:
+            self.tracer.instant(
+                f"fault:{kind}", vcycle=vcycle, level=level, rank=rank,
+                src=src, tag=tag, nbytes=nbytes, attempt=attempt,
+            )
 
     # ------------------------------------------------------------------
     # aggregation

@@ -1,0 +1,201 @@
+"""Per-level, per-operation aggregation of measured spans.
+
+Turns a solve trace into the paper's breakdown rows —
+``level 0 applyOp [min, avg, max] (sigma: ...)`` — with the samples
+being the individual kernel-span durations (the paper samples across
+ranks; the simulated lockstep ranks share one process, so invocations
+are the natural sample population and the row format is identical).
+:func:`measured_vs_model_report` then renders those measured rows
+side-by-side with the calibrated machine model's predictions for the
+same schedule (the measured-vs-model comparison behind the paper's
+Fig. 9 discussion), and :func:`span_coverage` quantifies how much of
+the root solve span the instrumented phases account for.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.obs.tracer import SpanRecord, Tracer
+from repro.perf.timers import TimingStat, format_level_timing
+
+#: span names that are pure structure (parents of the op spans below);
+#: excluded from per-op aggregation so nothing is double-counted
+STRUCTURE_SPANS = frozenset(
+    {"solve", "vcycle", "level", "smooth-visit", "bottom", "residual-check",
+     "cg-iteration", "engine-adopt"}
+)
+
+#: measured span name -> operation key of the machine model's
+#: per-level breakdown (``TimedSolve.solve_level_times``); fused
+#: pipeline spans cover the model's staged pair
+MODEL_OP_FOR = {
+    "applyOp": ("applyOp",),
+    "smooth": ("smooth",),
+    "smooth+residual": ("smooth+residual",),
+    "applyOp>smooth": ("applyOp", "smooth"),
+    "applyOp>smooth+residual": ("applyOp", "smooth+residual"),
+    "applyOp>residual": ("applyOp",),
+    "exchange": ("exchange",),
+    "restriction": ("restriction",),
+    "interpolation+increment": ("interpolation+increment",),
+    "initZero": ("initZero",),
+}
+
+
+def op_spans(tracer: Tracer) -> list[SpanRecord]:
+    """Leaf operation spans (structure spans filtered out)."""
+    return [s for s in tracer.ordered_spans() if s.name not in STRUCTURE_SPANS]
+
+
+def aggregate_by_level_op(tracer: Tracer) -> dict[tuple[int, str], TimingStat]:
+    """``{(level, op): TimingStat over span durations}``.
+
+    The level comes from each span's ``l`` attribute; spans without one
+    (none are emitted by the instrumented solve path) aggregate under
+    level ``-1``.
+    """
+    samples: dict[tuple[int, str], list[float]] = defaultdict(list)
+    for s in op_spans(tracer):
+        samples[(int(s.attrs.get("l", -1)), s.name)].append(s.duration)
+    return {key: TimingStat.from_samples(v) for key, v in samples.items()}
+
+
+def total_by_level_op(tracer: Tracer) -> dict[tuple[int, str], float]:
+    """``{(level, op): summed measured seconds}``."""
+    out: dict[tuple[int, str], float] = defaultdict(float)
+    for s in op_spans(tracer):
+        out[(int(s.attrs.get("l", -1)), s.name)] += s.duration
+    return dict(out)
+
+
+def span_coverage(tracer: Tracer, root_name: str = "solve") -> float:
+    """Fraction of the root span's wall-clock covered by its descendants.
+
+    Descendant intervals are unioned (never summed), so nested spans
+    cannot push coverage past 1.0; multiple roots contribute
+    duration-weighted.  Returns 0.0 when no root span exists.
+    """
+    roots = [s for s in tracer.ordered_spans() if s.name == root_name]
+    if not roots:
+        return 0.0
+    by_parent: dict[int, list[SpanRecord]] = defaultdict(list)
+    for s in tracer.ordered_spans():
+        if s.parent is not None:
+            by_parent[s.parent].append(s)
+
+    covered_total = 0.0
+    duration_total = 0.0
+    for root in roots:
+        intervals: list[tuple[float, float]] = []
+        frontier = list(by_parent.get(root.index, ()))
+        # direct children only: deeper spans are contained in them, so
+        # the union over depth-1 children is the honest coverage figure
+        for s in frontier:
+            intervals.append((s.start, s.end))
+        intervals.sort()
+        covered = 0.0
+        cur_start, cur_end = None, None
+        for a, b in intervals:
+            if cur_end is None or a > cur_end:
+                if cur_end is not None:
+                    covered += cur_end - cur_start
+                cur_start, cur_end = a, b
+            else:
+                cur_end = max(cur_end, b)
+        if cur_end is not None:
+            covered += cur_end - cur_start
+        covered_total += min(covered, root.duration)
+        duration_total += root.duration
+    if duration_total == 0.0:
+        return 1.0
+    return covered_total / duration_total
+
+
+# ----------------------------------------------------------------------
+# measured vs model
+# ----------------------------------------------------------------------
+def model_level_times(config, machine, num_vcycles: int) -> list[dict]:
+    """The machine model's per-level op totals for ``config``'s schedule.
+
+    Mirrors :func:`repro.gmg.solver.estimate_solve_time`'s bridge into
+    the performance harness; requires a periodic configuration.
+    """
+    from repro.harness.vcycle_sim import TimedSolve, WorkloadConfig
+
+    if config.boundary != "periodic":
+        raise ValueError("the performance harness models periodic runs only")
+    workload = WorkloadConfig(
+        per_rank_cells=config.cells_per_rank,
+        num_levels=config.num_levels,
+        max_smooths=config.max_smooths,
+        bottom_smooths=config.bottom_smooths,
+        num_vcycles=max(num_vcycles, 1),
+        rank_dims=config.rank_dims,
+        ranks_per_node=config.ranks_per_node,
+        communication_avoiding=config.communication_avoiding,
+        ordering=config.ordering,
+        brick_dim=config.brick_dim,
+        precision=config.precision,
+    )
+    return TimedSolve(machine, workload).solve_level_times()
+
+
+def measured_vs_model_rows(
+    tracer: Tracer, config, machine, num_vcycles: int
+) -> list[dict]:
+    """One dict per measured (level, op) row, model column attached.
+
+    ``model_s`` is the machine model's prediction for the same
+    operation totals (None for operations outside the model's
+    breakdown, e.g. the convergence check's ``residual``).
+    """
+    stats = aggregate_by_level_op(tracer)
+    totals = total_by_level_op(tracer)
+    model = (
+        model_level_times(config, machine, num_vcycles)
+        if machine is not None
+        else None
+    )
+    rows = []
+    for (lev, op) in sorted(stats):
+        model_s = None
+        if model is not None and 0 <= lev < len(model):
+            keys = MODEL_OP_FOR.get(op)
+            if keys is not None:
+                model_s = sum(model[lev].get(k, 0.0) for k in keys)
+        rows.append(
+            {
+                "level": lev,
+                "op": op,
+                "stat": stats[(lev, op)],
+                "measured_total_s": totals[(lev, op)],
+                "model_s": model_s,
+            }
+        )
+    return rows
+
+
+def render_measured_vs_model(
+    rows: list[dict], machine_name: str | None = None
+) -> str:
+    """The profile report's breakdown block, artifact row format first.
+
+    Each line is the paper's ``level L op [min, avg, max] (sigma: s)``
+    row over the measured samples, extended with the measured total and
+    (when a machine is given) the model's predicted total for the same
+    operations — predictions are for the paper's GPU machines, so the
+    interesting quantity is the *shape* agreement across levels and
+    operations, not the absolute ratio.
+    """
+    header = "measured per-level breakdown"
+    if machine_name:
+        header += f" (model: {machine_name})"
+    lines = [header]
+    for row in rows:
+        line = "  " + format_level_timing(row["level"], row["op"], row["stat"])
+        line += f" total {row['measured_total_s']:.6g}s"
+        if row["model_s"] is not None:
+            line += f" | model {row['model_s']:.6g}s"
+        lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Chrome trace-event export: open solver traces in Perfetto.
+
+Serialises a :class:`~repro.obs.tracer.Tracer` into the Trace Event
+Format's JSON object form (``{"traceEvents": [...]}``) consumed by
+``chrome://tracing`` and https://ui.perfetto.dev: complete events
+(``ph: "X"``) for spans, instant events (``ph: "i"``) for fault
+instants, timestamps in microseconds.  :func:`validate_chrome_trace`
+is the schema checker the test-suite and the CI profile-smoke job both
+run against emitted files.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.tracer import Tracer
+
+#: process/thread ids for the single-process simulated solve
+_PID = 1
+_TID = 1
+
+#: event phases this exporter emits
+_SPAN_PHASE = "X"
+_INSTANT_PHASE = "i"
+
+
+def _category(name: str) -> str:
+    """Coarse event category shown as a Perfetto filter chip."""
+    if name.startswith("fault:"):
+        return "fault"
+    if name in ("exchange",):
+        return "comm"
+    if name in ("solve", "vcycle", "level", "smooth-visit", "bottom"):
+        return "structure"
+    return "kernel"
+
+
+def to_chrome_trace(tracer: Tracer, metadata: dict | None = None) -> dict:
+    """The tracer's records as a Trace Event Format object.
+
+    ``metadata`` lands in ``otherData`` (Perfetto shows it in the trace
+    info panel) — the CLI puts the solver configuration there.
+    """
+    events: list[dict] = []
+    for s in tracer.ordered_spans():
+        events.append(
+            {
+                "name": s.name,
+                "cat": _category(s.name),
+                "ph": _SPAN_PHASE,
+                "ts": s.start * 1e6,
+                "dur": s.duration * 1e6,
+                "pid": _PID,
+                "tid": _TID,
+                "args": dict(s.attrs),
+            }
+        )
+    for i in tracer.instants:
+        events.append(
+            {
+                "name": i.name,
+                "cat": _category(i.name),
+                "ph": _INSTANT_PHASE,
+                "s": "t",  # thread-scoped instant
+                "ts": i.timestamp * 1e6,
+                "pid": _PID,
+                "tid": _TID,
+                "args": dict(i.attrs),
+            }
+        )
+    events.sort(key=lambda e: e["ts"])
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}),
+    }
+
+
+def write_chrome_trace(
+    tracer: Tracer, path, metadata: dict | None = None
+) -> dict:
+    """Serialise to ``path`` and return the exported object."""
+    obj = to_chrome_trace(tracer, metadata)
+    with open(path, "w") as fh:
+        json.dump(obj, fh, indent=1)
+    return obj
+
+
+def validate_chrome_trace(obj: dict) -> dict:
+    """Check ``obj`` against the Trace Event Format subset we emit.
+
+    Raises :class:`ValueError` on the first violation; returns
+    ``{"spans": n, "instants": m}`` so callers (the CI smoke job) can
+    assert the trace is non-trivial.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(obj).__name__}")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace must carry a 'traceEvents' list")
+    counts = {"spans": 0, "instants": 0}
+    last_ts = float("-inf")
+    for k, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"traceEvents[{k}] is not an object")
+        for req in ("name", "ph", "ts", "pid", "tid"):
+            if req not in ev:
+                raise ValueError(f"traceEvents[{k}] missing required key {req!r}")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            raise ValueError(f"traceEvents[{k}] has an empty name")
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"traceEvents[{k}] has invalid ts {ts!r}")
+        if ts < last_ts:
+            raise ValueError(f"traceEvents[{k}] not sorted by ts")
+        last_ts = ts
+        ph = ev["ph"]
+        if ph == _SPAN_PHASE:
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"traceEvents[{k}] complete event needs dur >= 0, got {dur!r}"
+                )
+            counts["spans"] += 1
+        elif ph == _INSTANT_PHASE:
+            if ev.get("s") not in ("t", "p", "g"):
+                raise ValueError(
+                    f"traceEvents[{k}] instant needs scope s in t/p/g"
+                )
+            counts["instants"] += 1
+        else:
+            raise ValueError(f"traceEvents[{k}] has unsupported phase {ph!r}")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            raise ValueError(f"traceEvents[{k}] args must be an object")
+    return counts
+
+
+def validate_chrome_trace_file(path) -> dict:
+    """Load ``path`` and validate it; returns the event counts."""
+    with open(path) as fh:
+        return validate_chrome_trace(json.load(fh))

@@ -1,0 +1,106 @@
+"""Counters and gauges, bridged from the event :class:`Recorder`.
+
+The :class:`~repro.instrument.Recorder` keeps raw event lists (every
+kernel, every message, every fault); a :class:`MetricsRegistry` is the
+aggregated, exportable view — one flat snapshot of counters and gauges
+suitable for JSON artifacts, the profile report, or scraping.  It also
+surfaces ``Recorder.reductions``, which the event layer counted but no
+aggregation ever reported.
+"""
+
+from __future__ import annotations
+
+from repro.instrument import Recorder
+
+
+class MetricsRegistry:
+    """A flat namespace of monotonic counters and point-in-time gauges."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to counter ``name`` (creating it at 0)."""
+        if value < 0:
+            raise ValueError(f"counters only increase: {name}={value}")
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[name] = float(value)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        if name in self._counters:
+            return self._counters[name]
+        return self._gauges.get(name, default)
+
+    # ------------------------------------------------------------------
+    def observe_recorder(self, recorder: Recorder) -> None:
+        """Fold one solve's event record into the registry.
+
+        Kernels, messages, exchanges, reductions and faults all become
+        counters; per-level detail keeps the ``<name>.level<l>`` key
+        shape so snapshots stay flat.
+        """
+        for (lev, op), n in recorder.kernel_counts().items():
+            self.counter(f"kernels.level{lev}.{op}", n)
+        for (lev, op), pts in recorder.kernel_points().items():
+            self.counter(f"kernel_points.level{lev}.{op}", pts)
+        self.counter("kernels.total", len(recorder.kernels))
+        self.counter("messages.total", len(recorder.messages))
+        self.counter(
+            "messages.bytes", sum(ev.nbytes for ev in recorder.messages)
+        )
+        for lev, n in recorder.message_counts_by_level().items():
+            self.counter(f"messages.level{lev}.count", n)
+        for lev, nbytes in recorder.message_bytes_by_level().items():
+            self.counter(f"messages.level{lev}.bytes", nbytes)
+        for lev, n in recorder.exchange_counts().items():
+            self.counter(f"exchanges.level{lev}", n)
+        self.counter("exchanges.total", sum(recorder.exchange_counts().values()))
+        self.counter("reductions.total", recorder.reductions)
+        for kind, n in recorder.fault_counts().items():
+            self.counter(f"faults.{kind}", n)
+        self.counter("faults.injected", recorder.injected_faults)
+        self.counter("faults.detected", recorder.detected_faults)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One exportable view: ``{"counters": {...}, "gauges": {...}}``.
+
+        Counter values that are whole numbers export as ints so JSON
+        artifacts stay diff-friendly.
+        """
+
+        def _tidy(v: float):
+            return int(v) if float(v).is_integer() else v
+
+        return {
+            "counters": {
+                k: _tidy(v) for k, v in sorted(self._counters.items())
+            },
+            "gauges": {k: _tidy(v) for k, v in sorted(self._gauges.items())},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)})"
+        )
+
+
+def solve_metrics(recorder: Recorder, tracer=None) -> MetricsRegistry:
+    """Registry for one finished solve.
+
+    Bridges the recorder and, when a recording tracer is supplied, adds
+    trace-derived gauges (span counts and total traced wall-clock).
+    """
+    registry = MetricsRegistry()
+    registry.observe_recorder(recorder)
+    if tracer is not None and getattr(tracer, "enabled", False):
+        registry.gauge("trace.spans", len(tracer.spans))
+        registry.gauge("trace.instants", len(tracer.instants))
+        registry.gauge("trace.wallclock_s", tracer.total_time())
+    return registry

@@ -1,0 +1,145 @@
+"""Profiled solves: run, aggregate, render — the ``repro profile`` core.
+
+One entry point, :func:`profile_solve`, runs a fully traced functional
+solve and returns a :class:`ProfileReport` bundling the trace, the
+measured per-level breakdown, the machine-model comparison, the
+bridged metrics snapshot and the span-coverage figure.  The CLI's
+``profile`` subcommand and the CI profile-smoke job are thin wrappers
+over this module, so tests can exercise the whole path in-process.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.aggregate import (
+    measured_vs_model_rows,
+    render_measured_vs_model,
+    span_coverage,
+)
+from repro.obs.chrome_trace import write_chrome_trace
+from repro.obs.metrics import solve_metrics
+from repro.obs.tracer import Tracer
+
+
+@dataclass
+class ProfileReport:
+    """Everything one profiled solve produced."""
+
+    config: object
+    result: object = field(repr=False)
+    tracer: Tracer = field(repr=False)
+    wallclock_s: float
+    coverage: float
+    rows: list[dict] = field(repr=False)
+    machine_name: str | None
+    metrics: dict = field(repr=False)
+
+    def render(self) -> str:
+        """The full human-readable profile report."""
+        cfg = self.config
+        lines = [
+            f"profiled solve: {cfg.global_cells}^3 over {cfg.num_ranks} "
+            f"rank(s), {cfg.num_levels} levels, brick {cfg.brick_dim}^3",
+            f"  status={self.result.status} vcycles={self.result.num_vcycles} "
+            f"wallclock={self.wallclock_s:.6g}s",
+            f"  trace: {len(self.tracer.spans)} spans, "
+            f"{len(self.tracer.instants)} instants, "
+            f"coverage {self.coverage:.1%} of the solve span",
+            "",
+            render_measured_vs_model(self.rows, self.machine_name),
+            "",
+            "metrics snapshot:",
+        ]
+        counters = self.metrics["counters"]
+        for key in (
+            "kernels.total",
+            "exchanges.total",
+            "messages.total",
+            "messages.bytes",
+            "reductions.total",
+            "faults.injected",
+            "faults.detected",
+        ):
+            if key in counters:
+                lines.append(f"  {key} = {counters[key]}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """Machine-readable form of the report (trace excluded)."""
+        return {
+            "wallclock_s": self.wallclock_s,
+            "coverage": self.coverage,
+            "machine": self.machine_name,
+            "rows": [
+                {
+                    "level": r["level"],
+                    "op": r["op"],
+                    "min": r["stat"].min,
+                    "avg": r["stat"].avg,
+                    "max": r["stat"].max,
+                    "sigma": r["stat"].stdev,
+                    "count": r["stat"].count,
+                    "measured_total_s": r["measured_total_s"],
+                    "model_s": r["model_s"],
+                }
+                for r in self.rows
+            ],
+            "metrics": self.metrics,
+        }
+
+
+def profile_solve(
+    config,
+    machine_name: str | None = "Perlmutter",
+    trace_path=None,
+    fault_plan=None,
+) -> ProfileReport:
+    """Run one traced solve of ``config`` and aggregate the results.
+
+    ``machine_name`` selects the model column (None skips it — also
+    the fallback for non-periodic boundaries, which the performance
+    harness does not model); ``trace_path`` additionally writes the
+    Chrome trace-event file.
+    """
+    from repro.gmg.solver import GMGSolver
+
+    tracer = Tracer()
+    solver = GMGSolver(config, fault_plan=fault_plan, tracer=tracer)
+    t0 = time.perf_counter()
+    result = solver.solve()
+    wallclock = time.perf_counter() - t0
+
+    machine = None
+    if machine_name is not None and config.boundary == "periodic":
+        from repro.machines import MACHINES
+
+        machine = MACHINES[machine_name]
+    else:
+        machine_name = None
+    rows = measured_vs_model_rows(
+        tracer, config, machine, max(result.num_vcycles, 1)
+    )
+    report = ProfileReport(
+        config=config,
+        result=result,
+        tracer=tracer,
+        wallclock_s=wallclock,
+        coverage=span_coverage(tracer),
+        rows=rows,
+        machine_name=machine_name,
+        metrics=solve_metrics(result.recorder, tracer).snapshot(),
+    )
+    if trace_path is not None:
+        write_chrome_trace(
+            tracer,
+            trace_path,
+            metadata={
+                "tool": "repro profile",
+                "global_cells": config.global_cells,
+                "num_levels": config.num_levels,
+                "status": result.status,
+            },
+        )
+    return report

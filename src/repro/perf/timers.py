@@ -36,9 +36,12 @@ class TimingStat:
         return cls(min=min(vals), avg=avg, max=max(vals), stdev=math.sqrt(var), count=n)
 
     def format(self) -> str:
+        # the artifact spells out "sigma" (see the module docstring's
+        # reproduced row), which also keeps rows ASCII-clean for
+        # terminals and logs that mangle non-ASCII
         return (
             f"[{self.min:.6g}, {self.avg:.6g}, {self.max:.6g}] "
-            f"(σ: {self.stdev:.6g})"
+            f"(sigma: {self.stdev:.6g})"
         )
 
 

@@ -44,6 +44,51 @@ class TestSolveCommand:
                    "--bottom", "20", "--no-ca"])
         assert rc == 0
 
+    def test_trace_flag_writes_valid_chrome_trace(self, capsys, tmp_path):
+        from repro.obs import validate_chrome_trace_file
+
+        trace = tmp_path / "solve.json"
+        rc = main(["solve", "-s", "16", "-l", "2", "--smooths", "6",
+                   "--bottom", "20", "--trace", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"wrote trace to {trace}" in out
+        counts = validate_chrome_trace_file(trace)
+        assert counts["spans"] > 0
+
+
+class TestProfileCommand:
+    def test_profile_prints_breakdown_and_metrics(self, capsys):
+        rc = main(["profile", "-s", "16", "-l", "2", "--smooths", "6",
+                   "--bottom", "20"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profiled solve: 16^3" in out
+        assert "(model: Perlmutter)" in out
+        assert "sigma:" in out and "| model " in out
+        assert "reductions.total" in out
+
+    def test_profile_machine_none(self, capsys):
+        rc = main(["profile", "-s", "16", "-l", "2", "--smooths", "6",
+                   "--bottom", "20", "--machine", "none"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sigma:" in out and "| model " not in out
+
+    def test_profile_artifacts(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.json"
+        profile = tmp_path / "profile.json"
+        rc = main(["profile", "-s", "16", "-l", "2", "--smooths", "6",
+                   "--bottom", "20", "--trace", str(trace),
+                   "--json", str(profile)])
+        assert rc == 0
+        obj = json.loads(profile.read_text())
+        assert obj["coverage"] >= 0.95
+        assert obj["rows"]
+        assert trace.exists()
+
 
 class TestExperimentCommand:
     @pytest.mark.parametrize(

@@ -1,0 +1,192 @@
+"""Traced solves end-to-end: aggregation, coverage, faults, the report."""
+
+import json
+import math
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec
+from repro.gmg import GMGSolver, SolverConfig
+from repro.obs import (
+    Tracer,
+    aggregate_by_level_op,
+    measured_vs_model_rows,
+    profile_solve,
+    render_measured_vs_model,
+    span_coverage,
+)
+from repro.obs.aggregate import STRUCTURE_SPANS, op_spans
+
+
+def _config(**overrides) -> SolverConfig:
+    base = dict(global_cells=16, num_levels=2, brick_dim=4,
+                max_smooths=6, bottom_smooths=20)
+    base.update(overrides)
+    return SolverConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    """One traced 2-level solve shared by the assertions below."""
+    return profile_solve(_config(), machine_name="Perlmutter")
+
+
+class TestTracedSolve:
+    def test_solve_root_covers_everything(self, profiled):
+        tracer = profiled.tracer
+        (root,) = tracer.roots()
+        assert root.name == "solve"
+        assert tracer.open_depth == 0
+        for s in tracer.spans:
+            if s is not root:
+                assert root.start <= s.start and s.end <= root.end
+
+    def test_span_coverage_meets_acceptance_bar(self, profiled):
+        assert profiled.coverage == span_coverage(profiled.tracer)
+        assert profiled.coverage >= 0.95
+
+    def test_both_levels_visited(self, profiled):
+        levels = {s.attrs["l"] for s in op_spans(profiled.tracer)}
+        assert levels == {0, 1}
+
+    def test_op_totals_fit_inside_the_solve(self, profiled):
+        (root,) = profiled.tracer.roots()
+        per_level = {}
+        for s in op_spans(profiled.tracer):
+            per_level.setdefault(s.attrs["l"], 0.0)
+            per_level[s.attrs["l"]] += s.duration
+        # op spans never nest within one another, so their sum is a
+        # lower bound on the wall-clock they sit inside
+        assert sum(per_level.values()) <= root.duration * 1.001
+
+
+class TestAggregation:
+    def test_structure_spans_excluded(self, profiled):
+        ops = {op for (_, op) in aggregate_by_level_op(profiled.tracer)}
+        assert ops and not (ops & STRUCTURE_SPANS)
+
+    def test_stats_are_consistent(self, profiled):
+        for stat in aggregate_by_level_op(profiled.tracer).values():
+            assert 0.0 <= stat.min <= stat.avg <= stat.max
+            assert stat.count >= 1
+            assert math.isfinite(stat.stdev)
+
+
+class TestMeasuredVsModel:
+    def test_rows_cover_both_levels_with_model_column(self, profiled):
+        rows = profiled.rows
+        assert {r["level"] for r in rows} == {0, 1}
+        smooth_rows = [r for r in rows if "smooth" in r["op"]]
+        assert smooth_rows
+        # the model prices the smoothing pipeline on every level
+        assert all(r["model_s"] is not None and r["model_s"] > 0
+                   for r in smooth_rows)
+
+    def test_render_matches_artifact_row_format(self, profiled):
+        text = render_measured_vs_model(profiled.rows, "Perlmutter")
+        assert "(model: Perlmutter)" in text
+        assert "sigma:" in text and "| model " in text
+        assert "level 0 " in text and "level 1 " in text
+        text.encode("ascii")
+
+    def test_model_column_optional(self, profiled):
+        rows = measured_vs_model_rows(
+            profiled.tracer, profiled.config, None,
+            profiled.result.num_vcycles)
+        assert all(r["model_s"] is None for r in rows)
+        assert "| model" not in render_measured_vs_model(rows)
+
+
+class TestProfileReport:
+    def test_render_sections(self, profiled):
+        text = profiled.render()
+        assert "profiled solve: 16^3" in text
+        assert "coverage" in text
+        assert "metrics snapshot:" in text
+        assert "kernels.total" in text
+
+    def test_reductions_bridged_from_recorder(self, profiled):
+        counters = profiled.metrics["counters"]
+        assert counters["reductions.total"] == \
+            profiled.result.recorder.reductions
+        assert counters["reductions.total"] > 0
+
+    def test_kernel_counter_matches_recorder(self, profiled):
+        counters = profiled.metrics["counters"]
+        recorder = profiled.result.recorder
+        assert counters["kernels.total"] == len(recorder.kernels)
+        assert counters["exchanges.total"] == \
+            sum(recorder.exchange_counts().values())
+
+    def test_json_form_serialises(self, profiled):
+        obj = json.loads(json.dumps(profiled.to_json()))
+        assert obj["coverage"] == pytest.approx(profiled.coverage)
+        assert obj["machine"] == "Perlmutter"
+        row = obj["rows"][0]
+        assert {"level", "op", "min", "avg", "max", "sigma",
+                "count", "measured_total_s", "model_s"} <= set(row)
+
+    def test_trace_file_written_and_valid(self, tmp_path):
+        from repro.obs import validate_chrome_trace_file
+
+        path = tmp_path / "trace.json"
+        report = profile_solve(_config(), machine_name=None,
+                               trace_path=path)
+        counts = validate_chrome_trace_file(path)
+        assert counts["spans"] == len(report.tracer.spans)
+        assert report.machine_name is None
+
+    def test_nonperiodic_skips_model(self):
+        report = profile_solve(_config(boundary="dirichlet"),
+                               machine_name="Perlmutter")
+        assert report.machine_name is None
+        assert all(r["model_s"] is None for r in report.rows)
+
+
+class TestFaultInstants:
+    @pytest.fixture(scope="class")
+    def faulted(self):
+        plan = FaultPlan([FaultSpec("drop", vcycle=1, level=0, max_hits=1)])
+        config = _config(rank_dims=(2, 1, 1))
+        tracer = Tracer()
+        solver = GMGSolver(config, fault_plan=plan, tracer=tracer)
+        result = solver.solve()
+        return tracer, result
+
+    def test_injection_and_detection_traced(self, faulted):
+        tracer, result = faulted
+        names = [i.name for i in tracer.instants]
+        assert "fault:inject_drop" in names
+        assert any(n.startswith("fault:detect") for n in names)
+        assert result.status == "converged"
+
+    def test_message_faults_land_inside_an_exchange_span(self, faulted):
+        tracer, _ = faulted
+        by_index = {s.index: s for s in tracer.spans}
+        message_faults = [
+            i for i in tracer.instants
+            if i.name in ("fault:inject_drop", "fault:detect_drop")
+        ]
+        assert message_faults
+        for instant in message_faults:
+            owner = by_index[instant.parent]
+            assert owner.name == "exchange"
+            assert owner.contains(instant.timestamp)
+            assert owner.attrs["l"] == 0
+
+    def test_every_instant_has_a_live_owner(self, faulted):
+        tracer, _ = faulted
+        by_index = {s.index: s for s in tracer.spans}
+        for instant in tracer.instants:
+            assert instant.parent in by_index
+            assert by_index[instant.parent].contains(instant.timestamp)
+
+    def test_fault_counters_in_metrics(self, faulted):
+        from repro.obs import solve_metrics
+
+        tracer, result = faulted
+        snapshot = solve_metrics(result.recorder, tracer).snapshot()
+        assert snapshot["counters"]["faults.injected"] >= 1
+        assert snapshot["counters"]["faults.detected"] >= 1
+        assert snapshot["gauges"]["trace.instants"] == len(tracer.instants)
+        assert snapshot["gauges"]["trace.spans"] == len(tracer.spans)

@@ -1,0 +1,181 @@
+"""The span tracer: nesting, ordering, null fast path, Chrome export."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock: advances 1.0 per call."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        self.t += 1.0
+        return self.t
+
+
+def _nested_trace() -> Tracer:
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("solve"):
+        with tracer.span("vcycle", v=0):
+            with tracer.span("level", l=0):
+                with tracer.span("smooth", l=0):
+                    pass
+            with tracer.span("level", l=1):
+                pass
+        tracer.instant("fault:detect_drop", rank=1)
+    return tracer
+
+
+class TestSpanNesting:
+    def test_open_spans_close_lifo(self):
+        tracer = _nested_trace()
+        assert tracer.open_depth == 0
+        assert len(tracer.spans) == 5
+
+    def test_preorder_indices_follow_opening_order(self):
+        tracer = _nested_trace()
+        names = [s.name for s in tracer.ordered_spans()]
+        assert names == ["solve", "vcycle", "level", "smooth", "level"]
+
+    def test_parent_links_form_the_tree(self):
+        tracer = _nested_trace()
+        by_index = {s.index: s for s in tracer.spans}
+        solve, vcycle, lev0, smooth, lev1 = tracer.ordered_spans()
+        assert solve.parent is None
+        assert by_index[vcycle.parent] is solve
+        assert by_index[lev0.parent] is vcycle
+        assert by_index[smooth.parent] is lev0
+        assert by_index[lev1.parent] is vcycle
+
+    def test_depths_match_nesting(self):
+        tracer = _nested_trace()
+        assert [s.depth for s in tracer.ordered_spans()] == [0, 1, 2, 3, 2]
+
+    def test_child_interval_contained_in_parent(self):
+        tracer = _nested_trace()
+        by_index = {s.index: s for s in tracer.spans}
+        for s in tracer.spans:
+            if s.parent is not None:
+                parent = by_index[s.parent]
+                assert parent.start <= s.start
+                assert s.end <= parent.end
+
+    def test_sibling_spans_do_not_overlap(self):
+        tracer = _nested_trace()
+        levels = tracer.find("level")
+        assert levels[0].end <= levels[1].start
+
+    def test_attrs_and_helpers(self):
+        tracer = _nested_trace()
+        vcycle = tracer.find("vcycle")[0]
+        assert vcycle.attrs == {"v": 0}
+        assert [s.name for s in tracer.roots()] == ["solve"]
+        assert [s.name for s in tracer.children_of(vcycle)] == ["level", "level"]
+        assert tracer.total_time() == tracer.find("solve")[0].duration
+
+    def test_instant_parented_to_open_span(self):
+        tracer = _nested_trace()
+        (instant,) = tracer.instants
+        solve = tracer.find("solve")[0]
+        assert instant.parent == solve.index
+        assert solve.contains(instant.timestamp)
+        assert instant.attrs == {"rank": 1}
+
+    def test_instant_without_open_span_is_rootless(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.instant("fault:rollback")
+        assert tracer.instants[0].parent is None
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert tracer.open_depth == 0
+        assert [s.name for s in tracer.ordered_spans()] == ["outer", "inner"]
+
+    def test_clear_keeps_tracer_usable(self):
+        tracer = _nested_trace()
+        tracer.clear()
+        assert tracer.spans == [] and tracer.instants == []
+        with tracer.span("again"):
+            pass
+        assert len(tracer.spans) == 1
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        null = NullTracer()
+        with null.span("solve", v=1):
+            null.instant("fault:retry")
+        assert not null.enabled
+
+    def test_span_is_shared_singleton(self):
+        # the disabled fast path must not allocate per span
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b", l=3)
+
+
+class TestChromeTrace:
+    def test_roundtrip_validates(self):
+        tracer = _nested_trace()
+        obj = to_chrome_trace(tracer, metadata={"run": "test"})
+        counts = validate_chrome_trace(obj)
+        assert counts == {"spans": 5, "instants": 1}
+        # survives JSON serialisation byte-for-byte
+        again = json.loads(json.dumps(obj))
+        assert validate_chrome_trace(again) == counts
+        assert again["otherData"] == {"run": "test"}
+
+    def test_events_sorted_and_microseconds(self):
+        tracer = _nested_trace()
+        events = to_chrome_trace(tracer)["traceEvents"]
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+        solve = next(e for e in events if e["name"] == "solve")
+        span = next(s for s in tracer.spans if s.name == "solve")
+        assert solve["ts"] == pytest.approx(span.start * 1e6)
+        assert solve["dur"] == pytest.approx(span.duration * 1e6)
+        assert solve["ph"] == "X"
+
+    def test_instants_are_instant_phase(self):
+        tracer = _nested_trace()
+        events = to_chrome_trace(tracer)["traceEvents"]
+        fault = next(e for e in events if e["name"].startswith("fault:"))
+        assert fault["ph"] == "i"
+        assert fault["s"] == "t"
+        assert fault["cat"] == "fault"
+
+    @pytest.mark.parametrize(
+        "broken",
+        [
+            [],  # not an object
+            {},  # no traceEvents
+            {"traceEvents": {}},  # wrong container
+            {"traceEvents": [{"ph": "X"}]},  # missing keys
+            {"traceEvents": [
+                {"name": "a", "ph": "X", "ts": 0, "pid": 1, "tid": 1}
+            ]},  # complete event without dur
+            {"traceEvents": [
+                {"name": "a", "ph": "q", "ts": 0, "pid": 1, "tid": 1}
+            ]},  # unsupported phase
+            {"traceEvents": [
+                {"name": "a", "ph": "X", "ts": 5, "dur": 1, "pid": 1, "tid": 1},
+                {"name": "b", "ph": "X", "ts": 1, "dur": 1, "pid": 1, "tid": 1},
+            ]},  # unsorted
+        ],
+    )
+    def test_schema_violations_rejected(self, broken):
+        with pytest.raises(ValueError):
+            validate_chrome_trace(broken)

@@ -28,7 +28,14 @@ class TestTimingStat:
         s = TimingStat.from_samples([0.265012, 0.265184, 0.265346])
         text = s.format()
         assert text.startswith("[0.265012, ")
-        assert "σ:" in text
+        assert "sigma:" in text
+
+    def test_format_is_ascii(self):
+        # the artifact rows use "sigma", not the Greek letter, and must
+        # survive ASCII-only terminals
+        s = TimingStat.from_samples([0.1, 0.2])
+        s.format().encode("ascii")
+        format_level_timing(3, "smooth", s).encode("ascii")
 
     def test_level_row_matches_artifact_format(self):
         s = TimingStat.from_samples([0.1, 0.1, 0.1])
