@@ -117,7 +117,191 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             json.dump(report.to_json(), fh, indent=1)
         print(f"wrote profile JSON to {args.json}")
     ok = report.result.status in ("converged", "max_vcycles")
-    return 0 if ok and report.coverage >= 0.95 else 1
+    if not ok:
+        print(f"profile FAILED: solve ended with status {report.result.status}")
+        return 1
+    min_coverage = args.min_coverage / 100.0
+    if report.coverage < min_coverage:
+        print(
+            f"profile FAILED: span coverage {report.coverage:.1%} is below "
+            f"the --min-coverage floor of {min_coverage:.1%} (instrumented "
+            f"spans account for too little of the solve span)"
+        )
+        return 1
+    return 0
+
+
+def _cmd_commviz(args: argparse.Namespace) -> int:
+    from repro.gmg import GMGSolver
+    from repro.harness.ascii_plot import ascii_matrix, ascii_plot
+    from repro.obs import Tracer, write_chrome_trace
+    from repro.obs.rank import (
+        critical_paths,
+        fit_message_model,
+        message_time_samples,
+        rank_time_breakdown,
+        traffic_matrix,
+    )
+
+    config = _solver_config(args)
+    if config.num_ranks < 2:
+        print("commviz needs a distributed solve; pass e.g. --ranks 2,2,2")
+        return 2
+    machine = None
+    if args.machine != "none":
+        from repro.machines import MACHINES
+
+        machine = MACHINES[args.machine]
+    tracer = Tracer()
+    solver = GMGSolver(config, tracer=tracer)
+    result = solver.solve()
+    print(
+        f"communication view: {args.size}^3 over {config.num_ranks} ranks "
+        f"({args.ranks}), {args.levels} levels, status={result.status}"
+    )
+    traffic = traffic_matrix(tracer, size=config.num_ranks)
+    print()
+    print(ascii_matrix(traffic.messages, title="messages (src -> dst)"))
+    print(ascii_matrix(traffic.nbytes, title="bytes (src -> dst)"))
+    if traffic.total_retransmissions:
+        print(
+            ascii_matrix(
+                traffic.retransmissions, title="retransmissions (src -> dst)"
+            )
+        )
+    by_level = ", ".join(
+        f"l{lev}: {int(traffic.level_nbytes[lev].sum())} B "
+        f"/ {int(traffic.level_messages[lev].sum())} msg"
+        for lev in traffic.levels()
+    )
+    print(f"per-level traffic: {by_level}")
+
+    print()
+    print("per-rank time breakdown (ms):")
+    breakdown = rank_time_breakdown(tracer)
+    names = sorted({n for b in breakdown.values() for n in b})
+    header = "  rank" + "".join(f"  {n:>11}" for n in names) + f"  {'total':>11}"
+    print(header)
+    for rank, by_name in breakdown.items():
+        cells = "".join(f"  {by_name.get(n, 0.0) * 1e3:11.3f}" for n in names)
+        print(f"  {rank:4d}{cells}  {sum(by_name.values()) * 1e3:11.3f}")
+
+    print()
+    print("per-V-cycle critical path (longest send->recv dependency chain):")
+    paths = critical_paths(tracer, machine=machine)
+    for p in paths:
+        model = f"  model {p.model_s * 1e3:8.3f} ms" if p.model_s is not None else ""
+        print(
+            f"  vcycle {p.vcycle:2d}: {len(p.steps):3d} spans, "
+            f"{p.comm_bytes:9d} B on path, measured {p.duration_s * 1e3:8.3f} ms "
+            f"(window {p.window_s * 1e3:8.3f} ms){model}"
+        )
+    if paths:
+        longest = max(paths, key=lambda p: p.duration_s)
+        hops = " -> ".join(
+            f"r{s.rank}:{s.name}[l{s.level}]" for s in longest.steps[:8]
+        )
+        more = "" if len(longest.steps) <= 8 else f" -> ... ({len(longest.steps)} total)"
+        print(f"  longest (vcycle {longest.vcycle}): {hops}{more}")
+
+    fit = fit_message_model(tracer)
+    if fit is not None:
+        xs, ts = message_time_samples(tracer)
+        print()
+        print(
+            f"measured send-time fit t = alpha + n/beta: "
+            f"alpha={fit.alpha * 1e6:.3g} us, "
+            f"beta={fit.beta / 1e9:.3g} GB/s, R^2={fit.r_squared:.3f}"
+        )
+        resid = ts - np.asarray(fit.time(xs))
+        print(
+            f"fit residuals: max |r| = {np.abs(resid).max() * 1e6:.3g} us "
+            f"over {len(ts)} sends"
+        )
+        print(
+            ascii_plot(
+                {"measured": (xs, ts), "fit": (xs, np.asarray(fit.time(xs)))},
+                x_label="message bytes",
+                y_label="send seconds",
+            )
+        )
+    if args.trace:
+        write_chrome_trace(
+            tracer,
+            args.trace,
+            metadata={
+                "tool": "repro commviz",
+                "global_cells": config.global_cells,
+                "num_ranks": config.num_ranks,
+                "status": result.status,
+            },
+        )
+        print(
+            f"wrote rank-resolved trace to {args.trace} "
+            f"(one pid per rank; open in https://ui.perfetto.dev)"
+        )
+    ok = result.status in ("converged", "max_vcycles")
+    ok = ok and all(p.duration_s <= p.window_s for p in paths)
+    return 0 if ok else 1
+
+
+def _cmd_perfgate(args: argparse.Namespace) -> int:
+    from datetime import datetime, timezone
+
+    from repro.obs.ledger import (
+        LedgerEntry,
+        PerfLedger,
+        compare_metrics,
+        load_candidate,
+        measure_hotpath,
+    )
+
+    ledger = PerfLedger(args.ledger)
+    if args.candidate:
+        candidate = load_candidate(args.candidate)
+        print(f"candidate: {args.candidate} ({len(candidate.metrics)} metrics)")
+    else:
+        print(f"measuring hot-path candidate (best of {args.rounds} rounds)...")
+        candidate = measure_hotpath(rounds=args.rounds)
+    if args.inject_slowdown:
+        factor = 1.0 + args.inject_slowdown / 100.0
+        candidate = LedgerEntry(
+            benchmark=candidate.benchmark,
+            metrics={k: v * factor for k, v in candidate.metrics.items()},
+            source=candidate.source,
+            context={**candidate.context,
+                     "injected_slowdown_pct": args.inject_slowdown},
+            recorded_at=candidate.recorded_at,
+        )
+        print(f"injected a synthetic {args.inject_slowdown:g}% slowdown")
+
+    benchmark = candidate.benchmark
+    baseline = ledger.baseline_metrics(benchmark, window=args.window)
+    exit_code = 0
+    if not baseline:
+        print(
+            f"no baseline for {benchmark!r} in {ledger.path(benchmark)} — "
+            f"nothing to gate against"
+        )
+    else:
+        result = compare_metrics(
+            baseline, candidate.metrics, benchmark, threshold=args.threshold
+        )
+        print(result.render())
+        if not result.ok:
+            exit_code = 0 if args.warn_only else 1
+            if args.warn_only:
+                print("(warn-only: regressions reported but not gating)")
+    if args.update:
+        if args.inject_slowdown:
+            print("refusing to record a synthetically slowed candidate")
+        else:
+            candidate.recorded_at = datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            )
+            path = ledger.record(candidate)
+            print(f"recorded candidate in {path}")
+    return exit_code
 
 
 def _experiment_commands() -> dict:
@@ -270,7 +454,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument("--json", metavar="FILE",
                          help="also write the profile report as JSON")
+    profile.add_argument(
+        "--min-coverage", type=float, default=95.0, metavar="PCT",
+        help="minimum span coverage (percent of the solve span that "
+             "instrumented spans must account for) before the command "
+             "fails (default 95)",
+    )
     profile.set_defaults(func=_cmd_profile)
+
+    commviz = sub.add_parser(
+        "commviz",
+        help="run a distributed solve and render the rank x rank traffic "
+             "matrix, per-rank time breakdown, and per-V-cycle critical "
+             "path next to the network model",
+    )
+    add_solver_args(commviz)
+    commviz.set_defaults(ranks="2,2,2")
+    commviz.add_argument(
+        "--machine",
+        default="Perlmutter",
+        choices=["Perlmutter", "Frontier", "Sunspot", "none"],
+        help="network model pricing the critical path ('none' to skip)",
+    )
+    commviz.set_defaults(func=_cmd_commviz)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
@@ -297,6 +503,47 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["Perlmutter", "Frontier", "Sunspot", "all"],
     )
     tune.set_defaults(func=_cmd_autotune)
+
+    perfgate = sub.add_parser(
+        "perfgate",
+        help="compare a benchmark candidate against the committed "
+             "performance ledger; non-zero exit on regression",
+    )
+    perfgate.add_argument(
+        "--ledger", default="benchmarks/results/ledger", metavar="DIR",
+        help="ledger directory (default benchmarks/results/ledger)",
+    )
+    perfgate.add_argument(
+        "--candidate", metavar="FILE",
+        help="gate this JSON file (ledger entry or bench payload) "
+             "instead of measuring the hot path",
+    )
+    perfgate.add_argument(
+        "--rounds", type=int, default=3,
+        help="measurement rounds when no --candidate is given (default 3)",
+    )
+    perfgate.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="relative slowdown tolerated before a metric counts as "
+             "regressed (default 0.15)",
+    )
+    perfgate.add_argument(
+        "--window", type=int, default=3,
+        help="min-of-k baseline window over the last k entries (default 3)",
+    )
+    perfgate.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but always exit 0 (CI advisory mode)",
+    )
+    perfgate.add_argument(
+        "--update", action="store_true",
+        help="append the candidate to the ledger after comparing",
+    )
+    perfgate.add_argument(
+        "--inject-slowdown", type=float, default=0.0, metavar="PCT",
+        help="scale the candidate's metrics by 1+PCT/100 (gate self-test)",
+    )
+    perfgate.set_defaults(func=_cmd_perfgate)
 
     faultsweep = sub.add_parser(
         "faultsweep",

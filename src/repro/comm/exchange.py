@@ -272,7 +272,8 @@ class HaloExchange:
                         level, rank, dst, tag, d, payload.nbytes
                     )
                 self.comm.isend(
-                    rank, dst, tag, payload, checksum=checksum, fault=action
+                    rank, dst, tag, payload, checksum=checksum, fault=action,
+                    level=level,
                 )
                 if self.recorder is not None:
                     self.recorder.message(
@@ -302,8 +303,12 @@ class HaloExchange:
                 ghost = self._ghost_slots[d]
                 expected = (nfields, len(ghost)) + (self.grid.brick_dim,) * 3
                 payload = self._receive(level, rank, src, tag, d, expected)
-                for f_idx, field in enumerate(fields):
-                    field.data[ghost] = payload[f_idx]
+                with self.tracer.child(rank).span(
+                    "unpack", l=level, src=src, dst=rank, tag=tag,
+                    bytes=int(payload.nbytes),
+                ):
+                    for f_idx, field in enumerate(fields):
+                        field.data[ghost] = payload[f_idx]
 
         # Phase 3: boundary conditions synthesise the outward ghosts
         # (after all receives — corner mirrors read exchanged ghosts).
@@ -331,7 +336,7 @@ class HaloExchange:
         if self.injector is not None:
             return self._receive_resilient(level, rank, src, tag, d, expected_shape)
         try:
-            payload = self.comm.irecv(rank, src, tag).wait()
+            payload = self.comm.irecv(rank, src, tag, level=level).wait()
         except UnmatchedReceiveError as exc:
             raise UnmatchedReceiveError(
                 f"{exc} (while filling rank {rank}'s ghost region along "
@@ -380,7 +385,7 @@ class HaloExchange:
         sender_d = tuple(-c for c in d)
         attempts = 0
         while True:
-            msg = self.comm.try_match(rank, src, tag)
+            msg = self.comm.try_match(rank, src, tag, level=level)
             if msg is not None and msg.seq < self._next_seq.get(key, 0):
                 self._fault("detect_duplicate", level, rank, src, tag,
                             nbytes=msg.payload.nbytes)
@@ -415,7 +420,9 @@ class HaloExchange:
                 self.comm.logged_nbytes(rank, src, tag),
             )
             try:
-                nbytes = self.comm.retransmit(rank, src, tag, fault=action)
+                nbytes = self.comm.retransmit(
+                    rank, src, tag, fault=action, level=level
+                )
             except UnmatchedReceiveError as exc:
                 raise UnmatchedReceiveError(
                     f"{exc} (while filling rank {rank}'s ghost region along "

@@ -30,6 +30,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER
+
 
 class UnmatchedReceiveError(RuntimeError):
     """A receive waited on an envelope that was never sent.
@@ -64,30 +66,45 @@ class SendRequest:
 class RecvRequest:
     """A posted receive; :meth:`wait` returns the payload."""
 
-    def __init__(self, comm: "SimComm", dst: int, src: int, tag: int) -> None:
+    def __init__(
+        self, comm: "SimComm", dst: int, src: int, tag: int, level: int = -1
+    ) -> None:
         self._comm = comm
         self._dst = dst
         self._src = src
         self._tag = tag
+        self._level = level
         self._payload: np.ndarray | None = None
         self._done = False
 
     def wait(self) -> np.ndarray:
         """Complete the receive, returning the message payload."""
         if not self._done:
-            self._payload = self._comm._match(self._dst, self._src, self._tag).payload
+            self._payload = self._comm._match(
+                self._dst, self._src, self._tag, level=self._level
+            ).payload
             self._done = True
         assert self._payload is not None
         return self._payload
 
 
 class SimComm:
-    """Mailbox-based message passing among ``size`` simulated ranks."""
+    """Mailbox-based message passing among ``size`` simulated ranks.
 
-    def __init__(self, size: int) -> None:
+    ``tracer`` is an optional :class:`~repro.obs.tracer.Tracer`: every
+    send, receive completion and retransmission is mirrored as a span on
+    the *per-rank child tracer* of the rank doing the work (the sender
+    for ``isend``/``retransmit``, the receiver for matched receives),
+    attributed with ``(src, dst, tag, bytes, seq)`` and the exchange
+    level the caller threads through.  The default null tracer keeps the
+    un-traced path allocation-free.
+    """
+
+    def __init__(self, size: int, tracer=None) -> None:
         if size < 1:
             raise ValueError(f"size must be positive: {size}")
         self.size = int(size)
+        self.tracer = tracer or NULL_TRACER
         # (dst, src, tag) -> FIFO of messages, preserving MPI's
         # non-overtaking order for identical envelopes.
         self._mailboxes: dict[tuple[int, int, int], deque] = defaultdict(deque)
@@ -116,26 +133,32 @@ class SimComm:
         payload: np.ndarray,
         checksum: int | None = None,
         fault=None,
+        level: int = -1,
     ) -> SendRequest:
         """Post a send; the payload is snapshotted at post time.
 
         ``checksum`` is carried in-band (computed by the sender over the
         pristine data).  ``fault`` is an optional
         :class:`~repro.faults.injector.FaultAction` the "wire" applies
-        to this transmission.
+        to this transmission.  ``level`` tags the traced span with the
+        multigrid level the exchange serves.
         """
         self._check_rank(src, "source rank")
         self._check_rank(dst, "destination rank")
-        data = np.ascontiguousarray(payload).copy()
         key = (dst, src, tag)
         seq = self._send_seq[key]
-        self._send_seq[key] = seq + 1
-        msg = _Message(data, checksum, seq)
-        self._send_log[key] = msg
-        self.sent_messages += 1
-        self.sent_bytes += data.nbytes
-        self.bytes_by_pair[(src, dst)] += data.nbytes
-        self._transmit(key, msg, fault)
+        with self.tracer.child(src).span(
+            "isend", l=level, src=src, dst=dst, tag=tag,
+            bytes=int(payload.nbytes), seq=seq,
+        ):
+            data = np.ascontiguousarray(payload).copy()
+            self._send_seq[key] = seq + 1
+            msg = _Message(data, checksum, seq)
+            self._send_log[key] = msg
+            self.sent_messages += 1
+            self.sent_bytes += data.nbytes
+            self.bytes_by_pair[(src, dst)] += data.nbytes
+            self._transmit(key, msg, fault)
         return SendRequest(dst=dst, tag=tag, nbytes=data.nbytes)
 
     def _transmit(self, key: tuple[int, int, int], msg: _Message, fault) -> None:
@@ -162,22 +185,35 @@ class SimComm:
             return
         raise ValueError(f"unknown fault action {fault.kind!r}")
 
-    def irecv(self, dst: int, src: int, tag: int) -> RecvRequest:
+    def irecv(self, dst: int, src: int, tag: int, level: int = -1) -> RecvRequest:
         """Post a receive for ``(src, tag)`` at rank ``dst``."""
         self._check_rank(src, "source rank")
         self._check_rank(dst, "destination rank")
-        return RecvRequest(self, dst, src, tag)
+        return RecvRequest(self, dst, src, tag, level)
 
-    def _match(self, dst: int, src: int, tag: int) -> _Message:
+    def _record_recv(self, dst: int, src: int, tag: int, level: int,
+                     msg: _Message) -> None:
+        """Mirror one matched receive as a span on ``dst``'s timeline."""
+        with self.tracer.child(dst).span(
+            "irecv", l=level, src=src, dst=dst, tag=tag,
+            bytes=int(msg.payload.nbytes), seq=msg.seq,
+        ):
+            pass
+
+    def _match(self, dst: int, src: int, tag: int, level: int = -1) -> _Message:
         box = self._mailboxes.get((dst, src, tag))
         if not box:
             raise UnmatchedReceiveError(
                 f"deadlock: rank {dst} waits on a message from rank {src} "
                 f"tag {tag} that was never sent"
             )
-        return box.popleft()
+        msg = box.popleft()
+        self._record_recv(dst, src, tag, level, msg)
+        return msg
 
-    def try_match(self, dst: int, src: int, tag: int) -> _Message | None:
+    def try_match(
+        self, dst: int, src: int, tag: int, level: int = -1
+    ) -> _Message | None:
         """Pop the next message for an envelope, or ``None`` if empty.
 
         The resilient receive path in
@@ -188,7 +224,9 @@ class SimComm:
         box = self._mailboxes.get((dst, src, tag))
         if not box:
             return None
-        return box.popleft()
+        msg = box.popleft()
+        self._record_recv(dst, src, tag, level, msg)
+        return msg
 
     def release_delayed(self, dst: int, src: int, tag: int) -> int:
         """Flush parked 'delay' transmissions into the mailbox.
@@ -205,7 +243,9 @@ class SimComm:
         parked.clear()
         return n
 
-    def retransmit(self, dst: int, src: int, tag: int, fault=None) -> int:
+    def retransmit(
+        self, dst: int, src: int, tag: int, fault=None, level: int = -1
+    ) -> int:
         """Resend the last transmission of an envelope from the send log.
 
         Models a sender-side resend out of the retained send buffer
@@ -222,12 +262,16 @@ class SimComm:
                 f"deadlock: rank {dst} requested retransmission from rank "
                 f"{src} tag {tag} but nothing was ever sent on that envelope"
             )
-        msg = _Message(logged.payload, logged.checksum, logged.seq)
-        self.sent_messages += 1
-        self.retransmissions += 1
-        self.sent_bytes += msg.payload.nbytes
-        self.bytes_by_pair[(src, dst)] += msg.payload.nbytes
-        self._transmit(key, msg, fault)
+        with self.tracer.child(src).span(
+            "retransmit", l=level, src=src, dst=dst, tag=tag,
+            bytes=int(logged.payload.nbytes), seq=logged.seq,
+        ):
+            msg = _Message(logged.payload, logged.checksum, logged.seq)
+            self.sent_messages += 1
+            self.retransmissions += 1
+            self.sent_bytes += msg.payload.nbytes
+            self.bytes_by_pair[(src, dst)] += msg.payload.nbytes
+            self._transmit(key, msg, fault)
         return int(msg.payload.nbytes)
 
     def logged_nbytes(self, dst: int, src: int, tag: int) -> int:
@@ -250,8 +294,14 @@ class SimComm:
         return n
 
     def waitall(self, requests: list) -> list:
-        """Complete a batch of requests, returning receive payloads."""
-        return [req.wait() for req in requests]
+        """Complete a batch of requests, returning receive payloads.
+
+        Traced as one ``waitall`` span on the root timeline; each
+        completed receive still lands as an ``irecv`` span on its
+        destination rank's child timeline.
+        """
+        with self.tracer.span("waitall", n=len(requests)):
+            return [req.wait() for req in requests]
 
     # ------------------------------------------------------------------
     # collectives (lockstep driver supplies all ranks' values at once)

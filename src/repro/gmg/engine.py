@@ -188,17 +188,23 @@ class ExecutionEngine:
                 lv.x = resident
 
     def _adopt_batched(self) -> None:
-        """Stack every depth across ranks and rebind per-rank views."""
+        """Stack every depth across ranks and rebind per-rank views.
+
+        Each rank's copy-in is traced on that rank's child timeline, so
+        the adoption cost shows up in the per-rank breakdown next to the
+        rank's communication spans.
+        """
         for lev in range(self.num_levels):
             base = [levels[lev] for levels in self.rank_levels]
             st = _StackedLevel(base, self.ext_storage)
             self.stacked[lev] = st
             for k, lv in enumerate(base):
-                sl = st.grid.rank_slice(k)
-                for name, stacked_field in st.fields().items():
-                    per_rank = getattr(lv, name)
-                    stacked_field.data[sl] = per_rank.data
-                    per_rank.data = stacked_field.data[sl]
+                with self.tracer.child(k).span("adopt-rank", l=lev, rank=k):
+                    sl = st.grid.rank_slice(k)
+                    for name, stacked_field in st.fields().items():
+                        per_rank = getattr(lv, name)
+                        stacked_field.data[sl] = per_rank.data
+                        per_rank.data = stacked_field.data[sl]
         self._seed_child_maps()
 
     def _seed_child_maps(self) -> None:

@@ -251,7 +251,11 @@ class GMGSolver:
             config.ranks_per_node,
             periodic=self.boundary is BoundaryCondition.PERIODIC,
         )
-        self.comm = SimComm(self.topology.size) if self.topology.size > 1 else None
+        self.comm = (
+            SimComm(self.topology.size, tracer=self.tracer)
+            if self.topology.size > 1
+            else None
+        )
 
         per_rank = config.cells_per_rank
         self.rank_levels: list[list[Level]] = []

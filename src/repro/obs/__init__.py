@@ -8,7 +8,12 @@
   from measured spans, side-by-side with the machine model;
 * :mod:`~repro.obs.metrics` — counters/gauges bridging the event
   :class:`~repro.instrument.Recorder` into one snapshot;
-* :mod:`~repro.obs.profile` — the ``python -m repro profile`` core.
+* :mod:`~repro.obs.profile` — the ``python -m repro profile`` core;
+* :mod:`~repro.obs.rank` — rank x rank traffic matrices, per-rank time
+  breakdowns, and per-V-cycle critical paths from the per-rank span
+  timelines (the ``python -m repro commviz`` core);
+* :mod:`~repro.obs.ledger` — the persistent performance ledger behind
+  ``python -m repro perfgate`` (imported lazily; see the module).
 """
 
 from repro.obs.aggregate import (
@@ -26,6 +31,15 @@ from repro.obs.chrome_trace import (
 )
 from repro.obs.metrics import MetricsRegistry, solve_metrics
 from repro.obs.profile import ProfileReport, profile_solve
+from repro.obs.rank import (
+    CommMatrix,
+    CriticalPath,
+    PathStep,
+    critical_paths,
+    fit_message_model,
+    rank_time_breakdown,
+    traffic_matrix,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     InstantRecord,
@@ -53,4 +67,11 @@ __all__ = [
     "solve_metrics",
     "ProfileReport",
     "profile_solve",
+    "CommMatrix",
+    "CriticalPath",
+    "PathStep",
+    "traffic_matrix",
+    "rank_time_breakdown",
+    "critical_paths",
+    "fit_message_model",
 ]

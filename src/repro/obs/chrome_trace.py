@@ -15,64 +15,113 @@ import json
 
 from repro.obs.tracer import Tracer
 
-#: process/thread ids for the single-process simulated solve
+#: process/thread ids for the global (lockstep driver) timeline
 _PID = 1
 _TID = 1
+#: rank ``r``'s child timeline exports as pid ``r + _RANK_PID_BASE``
+_RANK_PID_BASE = 2
 
 #: event phases this exporter emits
 _SPAN_PHASE = "X"
 _INSTANT_PHASE = "i"
+_METADATA_PHASE = "M"
+
+
+def rank_pid(rank: int) -> int:
+    """The Chrome-trace process id rank ``rank``'s timeline exports as."""
+    return int(rank) + _RANK_PID_BASE
 
 
 def _category(name: str) -> str:
     """Coarse event category shown as a Perfetto filter chip."""
     if name.startswith("fault:"):
         return "fault"
-    if name in ("exchange",):
+    if name in ("exchange", "isend", "irecv", "unpack", "retransmit",
+                "waitall"):
         return "comm"
     if name in ("solve", "vcycle", "level", "smooth-visit", "bottom"):
         return "structure"
     return "kernel"
 
 
+def _span_events(tracer: Tracer, pid: int) -> list[dict]:
+    return [
+        {
+            "name": s.name,
+            "cat": _category(s.name),
+            "ph": _SPAN_PHASE,
+            "ts": s.start * 1e6,
+            "dur": s.duration * 1e6,
+            "pid": pid,
+            "tid": _TID,
+            "args": dict(s.attrs),
+        }
+        for s in tracer.ordered_spans()
+    ]
+
+
 def to_chrome_trace(tracer: Tracer, metadata: dict | None = None) -> dict:
     """The tracer's records as a Trace Event Format object.
+
+    The root tracer's spans export under pid 1 (the lockstep driver's
+    logical timeline); every per-rank child tracer exports under its own
+    pid (:func:`rank_pid`), with ``process_name`` metadata events so
+    Perfetto labels each process ``rank N``.  Instants carrying a
+    non-negative ``rank`` attribute — fault events name the rank that
+    detected or suffered the fault — are routed to that rank's pid, so
+    e.g. a ``fault:detect_drop`` lands on the timeline of the rank whose
+    receive failed rather than on the global driver timeline; instants
+    without a rank (solve-wide rollbacks) stay global.
 
     ``metadata`` lands in ``otherData`` (Perfetto shows it in the trace
     info panel) — the CLI puts the solver configuration there.
     """
-    events: list[dict] = []
-    for s in tracer.ordered_spans():
-        events.append(
-            {
-                "name": s.name,
-                "cat": _category(s.name),
-                "ph": _SPAN_PHASE,
-                "ts": s.start * 1e6,
-                "dur": s.duration * 1e6,
-                "pid": _PID,
-                "tid": _TID,
-                "args": dict(s.attrs),
-            }
-        )
+    events: list[dict] = _span_events(tracer, _PID)
+    used_rank_pids: dict[int, int] = {}
+    for rank, child in sorted(tracer.children.items()):
+        pid = rank_pid(rank)
+        used_rank_pids[rank] = pid
+        events.extend(_span_events(child, pid))
+        for i in child.instants:
+            events.append(_instant_event(i, pid))
     for i in tracer.instants:
-        events.append(
-            {
-                "name": i.name,
-                "cat": _category(i.name),
-                "ph": _INSTANT_PHASE,
-                "s": "t",  # thread-scoped instant
-                "ts": i.timestamp * 1e6,
-                "pid": _PID,
-                "tid": _TID,
-                "args": dict(i.attrs),
-            }
-        )
+        rank = i.attrs.get("rank", -1)
+        if isinstance(rank, int) and not isinstance(rank, bool) and rank >= 0:
+            pid = used_rank_pids.setdefault(rank, rank_pid(rank))
+        else:
+            pid = _PID
+        events.append(_instant_event(i, pid))
     events.sort(key=lambda e: e["ts"])
+    names = [(_PID, "solve (global timeline)")]
+    names += [(pid, f"rank {rank}") for rank, pid in sorted(used_rank_pids.items())]
+    process_names = [
+        {
+            "name": "process_name",
+            "ph": _METADATA_PHASE,
+            "ts": 0,
+            "pid": pid,
+            "tid": _TID,
+            "args": {"name": label},
+        }
+        for pid, label in names
+    ]
     return {
-        "traceEvents": events,
+        "traceEvents": process_names + events,
         "displayTimeUnit": "ms",
         "otherData": dict(metadata or {}),
+    }
+
+
+def _instant_event(instant, pid: int) -> dict:
+    return {
+        "name": instant.name,
+        "cat": _category(instant.name),
+        "ph": _INSTANT_PHASE,
+        "s": "t",  # thread-scoped instant
+        "ts": instant.timestamp * 1e6,
+        "pid": pid,
+        "tid": _TID,
+        "args": dict(instant.attrs),
     }
 
 
@@ -98,7 +147,8 @@ def validate_chrome_trace(obj: dict) -> dict:
     events = obj.get("traceEvents")
     if not isinstance(events, list):
         raise ValueError("trace must carry a 'traceEvents' list")
-    counts = {"spans": 0, "instants": 0}
+    counts = {"spans": 0, "instants": 0, "metadata": 0, "pids": 0}
+    pids: set = set()
     last_ts = float("-inf")
     for k, ev in enumerate(events):
         if not isinstance(ev, dict):
@@ -111,10 +161,21 @@ def validate_chrome_trace(obj: dict) -> dict:
         ts = ev["ts"]
         if not isinstance(ts, (int, float)) or ts < 0:
             raise ValueError(f"traceEvents[{k}] has invalid ts {ts!r}")
+        ph = ev["ph"]
+        if ph == _METADATA_PHASE:
+            # metadata events are emitted as a preamble and are exempt
+            # from the monotonic-ts requirement (they all carry ts 0)
+            if not isinstance(ev.get("args"), dict) or "name" not in ev["args"]:
+                raise ValueError(
+                    f"traceEvents[{k}] metadata event needs args.name"
+                )
+            counts["metadata"] += 1
+            pids.add(ev["pid"])
+            continue
         if ts < last_ts:
             raise ValueError(f"traceEvents[{k}] not sorted by ts")
         last_ts = ts
-        ph = ev["ph"]
+        pids.add(ev["pid"])
         if ph == _SPAN_PHASE:
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
@@ -132,6 +193,7 @@ def validate_chrome_trace(obj: dict) -> dict:
             raise ValueError(f"traceEvents[{k}] has unsupported phase {ph!r}")
         if "args" in ev and not isinstance(ev["args"], dict):
             raise ValueError(f"traceEvents[{k}] args must be an object")
+    counts["pids"] = len(pids)
     return counts
 
 

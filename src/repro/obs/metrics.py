@@ -22,13 +22,26 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
     def counter(self, name: str, value: float = 1.0) -> None:
-        """Add ``value`` to counter ``name`` (creating it at 0)."""
+        """Add ``value`` to counter ``name`` (creating it at 0).
+
+        A name is either a counter or a gauge, never both: re-using a
+        gauge's name raises, because :meth:`get` (and the flat snapshot
+        consumers) could not tell which series the value belongs to.
+        """
         if value < 0:
             raise ValueError(f"counters only increase: {name}={value}")
+        if name in self._gauges:
+            raise ValueError(f"{name!r} is already a gauge, not a counter")
         self._counters[name] = self._counters.get(name, 0.0) + value
 
     def gauge(self, name: str, value: float) -> None:
-        """Set gauge ``name`` to ``value`` (last write wins)."""
+        """Set gauge ``name`` to ``value`` (last write wins).
+
+        Raises when ``name`` already names a counter (see
+        :meth:`counter` for why the namespaces must not overlap).
+        """
+        if name in self._counters:
+            raise ValueError(f"{name!r} is already a counter, not a gauge")
         self._gauges[name] = float(value)
 
     def get(self, name: str, default: float = 0.0) -> float:

@@ -101,6 +101,10 @@ class NullTracer:
     def instant(self, name: str, **attrs) -> None:
         return None
 
+    def child(self, rank: int) -> "NullTracer":
+        """Per-rank child of the disabled tracer: itself."""
+        return self
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "NullTracer()"
 
@@ -179,11 +183,34 @@ class Tracer:
         self._stack: list[_SpanContext] = []
         self.spans: list[SpanRecord] = []
         self.instants: list[InstantRecord] = []
+        #: per-rank child tracers created by :meth:`child`, keyed by rank
+        self.children: dict[int, "Tracer"] = {}
+        #: the rank this tracer records for (None for the root timeline)
+        self.rank: int | None = None
 
     # ------------------------------------------------------------------
     def span(self, name: str, **attrs) -> _SpanContext:
         """Open a nested span; use as a ``with`` context manager."""
         return _SpanContext(self, name, attrs)
+
+    def child(self, rank: int) -> "Tracer":
+        """The per-rank child tracer for ``rank`` (created on first use).
+
+        Children share this tracer's clock *and* epoch, so their span
+        timestamps are directly comparable with the root timeline's —
+        which is what lets the critical-path extractor order a send on
+        one rank against the matching receive on another, and what lets
+        the Chrome exporter emit each rank as its own pid on a common
+        time axis.  Children have their own span stacks (one logical
+        timeline per rank) and their own preorder indices.
+        """
+        tracer = self.children.get(rank)
+        if tracer is None:
+            tracer = Tracer(clock=self._clock)
+            tracer._epoch = self._epoch
+            tracer.rank = int(rank)
+            self.children[rank] = tracer
+        return tracer
 
     def instant(self, name: str, **attrs) -> None:
         """Record a zero-duration event inside the currently open span."""
@@ -224,9 +251,15 @@ class Tracer:
         return sum(s.duration for s in self.roots())
 
     def clear(self) -> None:
-        """Drop all finished records (open spans stay on the stack)."""
+        """Drop all finished records (open spans stay on the stack).
+
+        Child tracers are cleared recursively but stay registered, so
+        call sites holding a child reference keep recording into it.
+        """
         self.spans.clear()
         self.instants.clear()
+        for tracer in self.children.values():
+            tracer.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -89,6 +89,67 @@ class TestProfileCommand:
         assert obj["rows"]
         assert trace.exists()
 
+    def test_min_coverage_flag_relaxes_floor(self, capsys):
+        rc = main(["profile", "-s", "16", "-l", "2", "--smooths", "6",
+                   "--bottom", "20", "--min-coverage", "10"])
+        assert rc == 0
+
+    def test_min_coverage_failure_reports_measured_value(self, capsys):
+        """An unreachable floor fails with the measured coverage in the
+        message, so the operator sees how far off the run was."""
+        rc = main(["profile", "-s", "16", "-l", "2", "--smooths", "6",
+                   "--bottom", "20", "--min-coverage", "100.5"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "span coverage" in out and "below" in out
+        assert "100.5%" in out
+
+
+class TestCommvizCommand:
+    def test_renders_matrix_breakdown_and_critical_path(self, capsys):
+        rc = main(["commviz", "-s", "16", "-l", "2", "--smooths", "6",
+                   "--bottom", "20", "-n", "2", "--ranks", "2,2,2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "over 8 ranks" in out
+        assert "messages (src -> dst)" in out
+        assert "bytes (src -> dst)" in out
+        assert "dst7" in out and "src7" in out  # full 8x8 matrix
+        assert "per-rank time breakdown" in out
+        assert "critical path" in out
+        assert "model" in out  # network-model column present
+        assert "per-level traffic: l0:" in out
+
+    def test_machine_none_skips_model_column(self, capsys):
+        rc = main(["commviz", "-s", "16", "-l", "2", "--smooths", "6",
+                   "--bottom", "20", "-n", "2", "--ranks", "2,1,1",
+                   "--machine", "none"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out and "model" not in out
+
+    def test_single_rank_rejected(self, capsys):
+        rc = main(["commviz", "-s", "16", "-l", "2", "--ranks", "1,1,1"])
+        assert rc == 2
+        assert "distributed" in capsys.readouterr().out
+
+    def test_trace_has_one_pid_per_rank(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace_file
+        from repro.obs.chrome_trace import rank_pid
+
+        trace = tmp_path / "ranks.json"
+        rc = main(["commviz", "-s", "16", "-l", "2", "--smooths", "6",
+                   "--bottom", "20", "-n", "2", "--ranks", "2,1,1",
+                   "--trace", str(trace)])
+        assert rc == 0
+        counts = validate_chrome_trace_file(trace)
+        assert counts["pids"] == 3  # global + 2 ranks
+        obj = json.loads(trace.read_text())
+        pids = {e["pid"] for e in obj["traceEvents"]}
+        assert pids == {1, rank_pid(0), rank_pid(1)}
+
 
 class TestExperimentCommand:
     @pytest.mark.parametrize(

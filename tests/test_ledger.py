@@ -1,0 +1,245 @@
+"""The performance ledger: ingest, min-of-k baselines, regression gate."""
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerEntry,
+    PerfLedger,
+    compare_metrics,
+    entry_from_bench_payload,
+    entry_from_profile,
+    load_candidate,
+)
+
+PAYLOAD = {
+    "benchmark": "kernel_hotpath",
+    "problem": {"global_cells": 32, "num_levels": 3, "brick_dim": 4},
+    "rounds": 6,
+    "quick": False,
+    "end_to_end_ms": {"seed": 640.71, "full": 267.49},
+    "speedup": {"seed": 1.0, "full": 2.395},
+    "micro": {"gather_vs_compute_us": {"gather_extended": 870.27}},
+    "bit_identical_histories": True,
+}
+
+
+class TestLedgerEntry:
+    def test_round_trip(self):
+        entry = entry_from_bench_payload(PAYLOAD)
+        again = LedgerEntry.from_json(json.loads(json.dumps(entry.to_json())))
+        assert again == entry
+
+    def test_flattening(self):
+        entry = entry_from_bench_payload(PAYLOAD)
+        assert entry.metrics == {
+            "end_to_end_ms.seed": 640.71,
+            "end_to_end_ms.full": 267.49,
+            "micro.gather_vs_compute_us.gather_extended": 870.27,
+        }
+        # higher-is-better and descriptive fields stay out of the gate
+        assert entry.context["speedup"]["full"] == 2.395
+        assert entry.context["problem"]["global_cells"] == 32
+
+    def test_unknown_schema_rejected(self):
+        obj = entry_from_bench_payload(PAYLOAD).to_json()
+        obj["schema"] = LEDGER_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="unsupported ledger schema"):
+            LedgerEntry.from_json(obj)
+
+    def test_non_numeric_metric_rejected(self):
+        obj = entry_from_bench_payload(PAYLOAD).to_json()
+        obj["metrics"]["end_to_end_ms.seed"] = "fast"
+        with pytest.raises(ValueError, match="not numeric"):
+            LedgerEntry.from_json(obj)
+
+    def test_payload_without_timings_rejected(self):
+        with pytest.raises(ValueError, match="no timing sections"):
+            entry_from_bench_payload({"benchmark": "x", "speedup": {}})
+
+
+class TestPerfLedger:
+    def test_append_and_read_back(self, tmp_path):
+        ledger = PerfLedger(tmp_path / "ledger")
+        entry = entry_from_bench_payload(PAYLOAD)
+        path = ledger.record(entry)
+        assert path.name == "kernel_hotpath.jsonl"
+        assert ledger.entries("kernel_hotpath") == [entry]
+        assert ledger.benchmarks() == ["kernel_hotpath"]
+
+    def test_missing_benchmark_is_empty(self, tmp_path):
+        ledger = PerfLedger(tmp_path / "ledger")
+        assert ledger.entries("nope") == []
+        assert ledger.baseline_metrics("nope") == {}
+
+    def test_corrupt_line_names_file_and_line(self, tmp_path):
+        root = tmp_path / "ledger"
+        root.mkdir()
+        (root / "bad.jsonl").write_text("{not json}\n")
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            PerfLedger(root).entries("bad")
+
+    def test_min_of_k_baseline(self, tmp_path):
+        ledger = PerfLedger(tmp_path / "ledger")
+        for value in (80.0, 90.0, 120.0, 110.0):
+            ledger.record(
+                LedgerEntry("b", {"end_to_end_ms.seed": value})
+            )
+        # window 3 covers only the last three entries (90, 120, 110):
+        # the ancient 80 ms outlier no longer sets the bar
+        base = ledger.baseline_metrics("b", window=3)
+        assert base["end_to_end_ms.seed"] == 90.0
+        base1 = ledger.baseline_metrics("b", window=1)
+        assert base1["end_to_end_ms.seed"] == 110.0
+
+
+class TestCompare:
+    def test_clean_rerun_is_ok(self):
+        m = {"a_ms": 100.0, "b_ms": 50.0}
+        result = compare_metrics(m, dict(m), "bench")
+        assert result.ok
+        assert all(r.status == "ok" for r in result.rows)
+
+    def test_twenty_percent_slowdown_regresses(self):
+        base = {"a_ms": 100.0}
+        result = compare_metrics(base, {"a_ms": 120.0}, threshold=0.15)
+        assert not result.ok
+        assert result.rows[0].status == "regression"
+        assert result.rows[0].ratio == pytest.approx(1.2)
+
+    def test_within_threshold_is_noise(self):
+        result = compare_metrics({"a_ms": 100.0}, {"a_ms": 114.0})
+        assert result.ok and result.rows[0].status == "ok"
+
+    def test_improvement_flagged(self):
+        result = compare_metrics({"a_ms": 100.0}, {"a_ms": 60.0})
+        assert result.ok and result.rows[0].status == "improvement"
+
+    def test_new_and_missing_never_gate(self):
+        result = compare_metrics({"old_ms": 10.0}, {"new_ms": 99.0})
+        assert result.ok
+        assert {r.status for r in result.rows} == {"missing", "new"}
+
+    def test_render_names_verdict(self):
+        text = compare_metrics({"a_ms": 1.0}, {"a_ms": 2.0}, "b").render()
+        assert "REGRESSION" in text and "a_ms" in text
+
+
+class TestProfileIngest:
+    def test_profile_report_becomes_entry(self):
+        from repro.gmg import SolverConfig
+        from repro.obs import profile_solve
+
+        config = SolverConfig(
+            global_cells=16, num_levels=2, brick_dim=4, max_smooths=6,
+            bottom_smooths=20, max_vcycles=2,
+        )
+        report = profile_solve(config, machine_name=None)
+        entry = entry_from_profile(report)
+        assert entry.benchmark == "profile_solve"
+        assert entry.source == "profile"
+        assert entry.metrics["wallclock_ms"] > 0
+        assert any(k.startswith("l0.") for k in entry.metrics)
+        assert 0 < entry.context["coverage"] <= 1.0
+
+
+class TestPerfgateCommand:
+    @pytest.fixture()
+    def seeded(self, tmp_path):
+        """A tmp ledger with one recorded baseline plus a candidate file."""
+        ledger_dir = tmp_path / "ledger"
+        PerfLedger(ledger_dir).record(entry_from_bench_payload(PAYLOAD))
+        candidate = tmp_path / "BENCH.json"
+        candidate.write_text(json.dumps(PAYLOAD))
+        return ledger_dir, candidate
+
+    def test_clean_rerun_exits_zero(self, seeded, capsys):
+        from repro.cli import main
+
+        ledger_dir, candidate = seeded
+        rc = main(["perfgate", "--ledger", str(ledger_dir),
+                   "--candidate", str(candidate)])
+        assert rc == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_synthetic_slowdown_exits_nonzero(self, seeded, capsys):
+        from repro.cli import main
+
+        ledger_dir, candidate = seeded
+        rc = main(["perfgate", "--ledger", str(ledger_dir),
+                   "--candidate", str(candidate),
+                   "--inject-slowdown", "20"])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_warn_only_reports_but_exits_zero(self, seeded, capsys):
+        from repro.cli import main
+
+        ledger_dir, candidate = seeded
+        rc = main(["perfgate", "--ledger", str(ledger_dir),
+                   "--candidate", str(candidate),
+                   "--inject-slowdown", "20", "--warn-only"])
+        assert rc == 0
+        assert "warn-only" in capsys.readouterr().out
+
+    def test_update_appends_with_timestamp(self, seeded, capsys):
+        from repro.cli import main
+
+        ledger_dir, candidate = seeded
+        rc = main(["perfgate", "--ledger", str(ledger_dir),
+                   "--candidate", str(candidate), "--update"])
+        assert rc == 0
+        entries = PerfLedger(ledger_dir).entries("kernel_hotpath")
+        assert len(entries) == 2
+        assert entries[-1].recorded_at  # stamped on record
+
+    def test_update_refuses_injected_candidate(self, seeded, capsys):
+        from repro.cli import main
+
+        ledger_dir, candidate = seeded
+        main(["perfgate", "--ledger", str(ledger_dir),
+              "--candidate", str(candidate),
+              "--inject-slowdown", "20", "--update", "--warn-only"])
+        assert "refusing" in capsys.readouterr().out
+        assert len(PerfLedger(ledger_dir).entries("kernel_hotpath")) == 1
+
+    def test_no_baseline_is_not_a_failure(self, tmp_path, capsys):
+        from repro.cli import main
+
+        candidate = tmp_path / "BENCH.json"
+        candidate.write_text(json.dumps(PAYLOAD))
+        rc = main(["perfgate", "--ledger", str(tmp_path / "empty"),
+                   "--candidate", str(candidate)])
+        assert rc == 0
+        assert "no baseline" in capsys.readouterr().out
+
+
+class TestLoadCandidate:
+    def test_accepts_raw_bench_payload(self, tmp_path):
+        p = tmp_path / "raw.json"
+        p.write_text(json.dumps(PAYLOAD))
+        entry = load_candidate(p)
+        assert entry.benchmark == "kernel_hotpath"
+
+    def test_accepts_ledger_entry_form(self, tmp_path):
+        p = tmp_path / "entry.json"
+        p.write_text(json.dumps(entry_from_bench_payload(PAYLOAD).to_json()))
+        entry = load_candidate(p)
+        assert entry.metrics["end_to_end_ms.seed"] == 640.71
+
+
+class TestCommittedLedger:
+    def test_backfilled_history_parses(self):
+        """The committed ledger must load: schema current, the PR2
+        backfill plus the PR4 run present, and every min-of-k baseline
+        value bounded by the latest entry (it is a min)."""
+        ledger = PerfLedger("benchmarks/results/ledger")
+        entries = ledger.entries("kernel_hotpath")
+        assert len(entries) >= 2  # PR2 backfill + PR4 run
+        assert all(e.schema == LEDGER_SCHEMA_VERSION for e in entries)
+        base = ledger.baseline_metrics("kernel_hotpath")
+        assert base
+        for name, value in entries[-1].metrics.items():
+            assert base[name] <= value

@@ -115,6 +115,95 @@ class TestSpanNesting:
         assert len(tracer.spans) == 1
 
 
+class TestChildTracers:
+    def test_child_shares_clock_and_epoch(self):
+        """Per-rank timestamps must be comparable with the root's —
+        the critical-path extractor orders sends on one timeline
+        against receives on another."""
+        clock = FakeClock()
+        root = Tracer(clock=clock)
+        child = root.child(1)
+        assert child._epoch == root._epoch
+        assert child.rank == 1
+        with root.span("a"):
+            pass
+        with child.span("b"):
+            pass
+        assert child.spans[0].start > root.spans[0].end
+
+    def test_child_is_cached_per_rank(self):
+        root = Tracer(clock=FakeClock())
+        assert root.child(0) is root.child(0)
+        assert root.child(0) is not root.child(1)
+        assert sorted(root.children) == [0, 1]
+
+    def test_children_have_independent_stacks(self):
+        root = Tracer(clock=FakeClock())
+        with root.span("root-span"):
+            with root.child(0).span("rank-span"):
+                assert root.open_depth == 1
+                assert root.child(0).open_depth == 1
+        assert [s.name for s in root.spans] == ["root-span"]
+        assert [s.name for s in root.child(0).spans] == ["rank-span"]
+
+    def test_clear_recurses_but_keeps_children_registered(self):
+        root = Tracer(clock=FakeClock())
+        child = root.child(2)
+        with child.span("x"):
+            pass
+        root.clear()
+        assert child.spans == []
+        assert root.children[2] is child  # held references keep working
+
+    def test_null_tracer_child_is_itself(self):
+        assert NULL_TRACER.child(3) is NULL_TRACER
+
+
+class TestInstantRankRouting:
+    """Fault instants carrying a rank land on that rank's timeline."""
+
+    def test_fault_instant_exports_on_owning_rank_pid(self):
+        from repro.obs.chrome_trace import rank_pid
+
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("solve"):
+            tracer.instant("fault:detect_drop", rank=1, src=0, tag=5)
+            tracer.instant("fault:rollback")  # solve-wide: no rank
+            tracer.instant("fault:inject_corrupt", rank=0)
+        events = {
+            e["name"]: e
+            for e in to_chrome_trace(tracer)["traceEvents"]
+            if e["ph"] == "i"
+        }
+        assert events["fault:detect_drop"]["pid"] == rank_pid(1)
+        assert events["fault:inject_corrupt"]["pid"] == rank_pid(0)
+        assert events["fault:rollback"]["pid"] == 1
+
+    def test_negative_and_bool_ranks_stay_global(self):
+        tracer = Tracer(clock=FakeClock())
+        tracer.instant("fault:a", rank=-1)
+        tracer.instant("fault:b", rank=True)  # not a rank index
+        obj = to_chrome_trace(tracer)
+        assert all(
+            e["pid"] == 1 for e in obj["traceEvents"] if e["ph"] == "i"
+        )
+
+    def test_routed_instant_gets_process_name(self):
+        """A rank timeline that only ever receives an instant still
+        needs its Perfetto process label."""
+        tracer = Tracer(clock=FakeClock())
+        tracer.instant("fault:detect_drop", rank=4)
+        obj = to_chrome_trace(tracer)
+        labels = {
+            e["pid"]: e["args"]["name"]
+            for e in obj["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert labels[6] == "rank 4"  # rank_pid(4)
+        counts = validate_chrome_trace(obj)
+        assert counts["instants"] == 1 and counts["metadata"] == 2
+
+
 class TestNullTracer:
     def test_records_nothing(self):
         null = NullTracer()
@@ -132,7 +221,9 @@ class TestChromeTrace:
         tracer = _nested_trace()
         obj = to_chrome_trace(tracer, metadata={"run": "test"})
         counts = validate_chrome_trace(obj)
-        assert counts == {"spans": 5, "instants": 1}
+        # the rank=1 fault instant is routed to rank 1's pid, so the
+        # trace carries two processes (global + rank 1), each named
+        assert counts == {"spans": 5, "instants": 1, "metadata": 2, "pids": 2}
         # survives JSON serialisation byte-for-byte
         again = json.loads(json.dumps(obj))
         assert validate_chrome_trace(again) == counts

@@ -208,3 +208,76 @@ class TestCollectives:
     def test_bad_size(self):
         with pytest.raises(ValueError):
             SimComm(0)
+
+
+class TestCommSpans:
+    """Per-rank span attribution of sends, receives, retransmissions."""
+
+    def test_isend_lands_on_sender_timeline(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        comm = SimComm(2, tracer=tracer)
+        comm.isend(0, 1, tag=7, payload=np.arange(4.0), level=2)
+        (span,) = tracer.children[0].spans
+        assert span.name == "isend"
+        assert span.attrs == {
+            "l": 2, "src": 0, "dst": 1, "tag": 7, "bytes": 32, "seq": 0,
+        }
+
+    def test_matched_receive_lands_on_receiver_timeline(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        comm = SimComm(2, tracer=tracer)
+        comm.isend(0, 1, tag=7, payload=np.arange(4.0), level=1)
+        comm.irecv(1, 0, tag=7, level=1).wait()
+        (span,) = tracer.children[1].spans
+        assert span.name == "irecv"
+        assert span.attrs["src"] == 0 and span.attrs["dst"] == 1
+        assert span.attrs["l"] == 1 and span.attrs["bytes"] == 32
+
+    def test_send_span_precedes_matching_recv_span(self):
+        """Lockstep ordering: the property the critical-path DP's
+        sort-by-start topological order rests on."""
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        comm = SimComm(2, tracer=tracer)
+        comm.isend(0, 1, tag=0, payload=np.zeros(8))
+        comm.irecv(1, 0, tag=0).wait()
+        send = tracer.children[0].spans[0]
+        recv = tracer.children[1].spans[0]
+        assert send.end <= recv.start
+
+    def test_retransmit_traced_with_original_seq(self):
+        from repro.faults.injector import FaultAction
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        comm = SimComm(2, tracer=tracer)
+        comm.isend(0, 1, tag=3, payload=np.zeros(2), fault=FaultAction("drop"))
+        comm.retransmit(1, 0, tag=3, level=0)
+        names = [s.name for s in tracer.children[0].spans]
+        assert names == ["isend", "retransmit"]
+        assert tracer.children[0].spans[1].attrs["seq"] == 0
+
+    def test_waitall_wraps_batch_on_root_timeline(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        comm = SimComm(2, tracer=tracer)
+        comm.isend(0, 1, tag=0, payload=np.zeros(1))
+        comm.isend(1, 0, tag=0, payload=np.zeros(1))
+        reqs = [comm.irecv(1, 0, tag=0), comm.irecv(0, 1, tag=0)]
+        comm.waitall(reqs)
+        (span,) = tracer.spans
+        assert span.name == "waitall" and span.attrs == {"n": 2}
+        # the receives completed inside it, on their own timelines
+        assert tracer.children[0].spans and tracer.children[1].spans
+
+    def test_untraced_comm_records_nothing(self):
+        comm = SimComm(2)
+        comm.isend(0, 1, tag=0, payload=np.zeros(1))
+        comm.irecv(1, 0, tag=0).wait()
+        assert not comm.tracer.enabled
