@@ -34,6 +34,7 @@ def _solver_config(args: argparse.Namespace):
         halo_resident=args.engine in ("halo", "full"),
         fuse_kernels=args.engine in ("fuse", "full"),
         batch_ranks=args.engine in ("batch", "full"),
+        agglomerate_threshold=getattr(args, "agglomerate_threshold", None),
     )
 
 
@@ -54,6 +55,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         f"cycle={args.cycle}, boundary={args.boundary}, "
         f"engine={args.engine}"
     )
+    if solver.agglomerator is not None:
+        print("agglomeration plan:")
+        for line in solver.agglomerator.plan.describe().splitlines():
+            print(f"  {line}")
     result = solver.solve()
     for cycle, res in enumerate(result.residual_history):
         print(f"  cycle {cycle:2d}: maxNormRes = {res:.6e}")
@@ -276,14 +281,21 @@ def _cmd_perfgate(args: argparse.Namespace) -> int:
         print(f"injected a synthetic {args.inject_slowdown:g}% slowdown")
 
     benchmark = candidate.benchmark
-    baseline = ledger.baseline_metrics(benchmark, window=args.window)
+    # Gate only against a full min-of-k window: an empty or
+    # shorter-than-k history (fresh checkout, truncated file, first
+    # runs after a ledger reset) has not absorbed run-to-run noise yet,
+    # so it takes the no-baseline path — record-and-exit-0, never an
+    # error or a gate against a single noisy sample.
+    history = ledger.entries(benchmark)
     exit_code = 0
-    if not baseline:
+    if len(history) < args.window:
         print(
             f"no baseline for {benchmark!r} in {ledger.path(benchmark)} — "
+            f"{len(history)} recorded entries < min-of-{args.window} window, "
             f"nothing to gate against"
         )
     else:
+        baseline = ledger.baseline_metrics(benchmark, window=args.window)
         result = compare_metrics(
             baseline, candidate.metrics, benchmark, threshold=args.threshold
         )
@@ -430,6 +442,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "three (bit-identical to 'off', faster)")
         p.add_argument("--no-ca", action="store_true",
                        help="disable communication-avoiding smoothing")
+        p.add_argument("--agglomerate-threshold", type=int, default=None,
+                       metavar="POINTS",
+                       help="merge coarse-level subdomains onto fewer "
+                            "ranks once a level drops below POINTS cells "
+                            "per rank (bit-identical history, fewer "
+                            "messages; default: off)")
         p.add_argument("--trace", metavar="FILE",
                        help="write a Chrome trace-event JSON of the solve "
                             "(open in chrome://tracing or Perfetto)")

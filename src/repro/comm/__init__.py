@@ -26,6 +26,7 @@ from repro.comm.exchange import (
     ExchangeFaultError,
     HaloExchange,
     LocalPeriodicExchange,
+    ResilientChannel,
     payload_checksum,
 )
 from repro.comm.mapping import NicBinding, binding_hop_penalty
@@ -34,6 +35,7 @@ from repro.comm.simmpi import (
     RecvRequest,
     SendRequest,
     SimComm,
+    SubComm,
     UnmatchedReceiveError,
 )
 from repro.comm.topology import CartTopology
@@ -41,11 +43,13 @@ from repro.comm.topology import CartTopology
 __all__ = [
     "CartTopology",
     "SimComm",
+    "SubComm",
     "SendRequest",
     "RecvRequest",
     "UnmatchedReceiveError",
     "HaloExchange",
     "LocalPeriodicExchange",
+    "ResilientChannel",
     "ExchangeFaultError",
     "payload_checksum",
     "Protocol",

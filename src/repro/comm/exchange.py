@@ -55,13 +55,18 @@ class ExchangeFaultError(RuntimeError):
         level: int,
         rank: int,
         src: int,
-        direction: tuple[int, int, int],
+        direction: tuple[int, int, int] | None,
         attempts: int,
     ) -> None:
+        what = (
+            f"a valid ghost region from rank {src} along direction "
+            f"{direction}"
+            if direction is not None
+            else f"a valid agglomeration payload from rank {src}"
+        )
         super().__init__(
             f"exchange at level {level} gave up after {attempts} retries: "
-            f"rank {rank} never received a valid ghost region from rank "
-            f"{src} along direction {direction}"
+            f"rank {rank} never received {what}"
         )
         self.level = level
         self.rank = rank
@@ -151,7 +156,203 @@ class LocalPeriodicExchange:
                 )
 
 
-class HaloExchange:
+class ResilientChannel:
+    """Receive-side resilience shared by every ``SimComm`` consumer.
+
+    Halo exchanges and the agglomeration gather/scatter transfers face
+    the same wire hazards (drop, corrupt, duplicate, delay), so the
+    machinery lives here once: per-envelope sequence tracking, checksum
+    and shape validation, duplicate discard, bounded sender-side
+    retransmission, and the end-of-solve stale drain.  Subclasses own
+    the message topology; this class owns the envelope discipline.
+
+    Ranks passed to the channel are communicator-local; ``_gr`` maps
+    them to global ids (via the communicator's ``global_rank`` hook when
+    present, e.g. :class:`~repro.comm.simmpi.SubComm`) so fault events,
+    injector predicates, and trace spans always name the real rank —
+    per-rank accounting stays truthful on agglomerated levels.
+    """
+
+    def __init__(
+        self,
+        comm,
+        recorder: Recorder | None = None,
+        injector=None,
+        max_retries: int = 3,
+        tracer=None,
+    ) -> None:
+        if max_retries < 1:
+            raise ValueError(f"max_retries must be positive: {max_retries}")
+        self.comm = comm
+        self.recorder = recorder
+        self.tracer = tracer or NULL_TRACER
+        #: optional FaultInjector; when set, sends carry checksums and
+        #: receives validate, discard duplicates, and retry via
+        #: retransmission instead of raising on the first anomaly.
+        self.injector = injector
+        self.max_retries = int(max_retries)
+        #: next expected sequence number per (rank, src, tag) envelope
+        self._next_seq: dict[tuple[int, int, int], int] = {}
+        #: level of the most recent exchange on this channel — drained
+        #: end-of-solve duplicates belong to the final exchange's level,
+        #: not to a level-less ``-1``
+        self._last_level = -1
+
+    def _gr(self, rank: int) -> int:
+        """Global id of a (possibly communicator-local) rank."""
+        mapper = getattr(self.comm, "global_rank", None)
+        return rank if mapper is None else mapper(rank)
+
+    def _fault(self, kind: str, level: int, rank: int, src: int, tag: int,
+               nbytes: int = 0, attempt: int = 0) -> None:
+        if self.recorder is not None:
+            vcycle = self.injector.vcycle if self.injector is not None else -1
+            self.recorder.fault(
+                kind, vcycle=vcycle, level=level, rank=self._gr(rank),
+                src=self._gr(src), tag=tag, nbytes=nbytes, attempt=attempt,
+            )
+
+    def _receive_payload(
+        self,
+        level: int,
+        rank: int,
+        src: int,
+        tag: int,
+        expected_shape: tuple[int, ...],
+        direction: tuple[int, int, int] | None = None,
+        context: str = "message",
+        what: str = "payload",
+    ) -> np.ndarray:
+        """One receive, fault-tolerant when an injector is set.
+
+        ``direction`` is the receiver's ghost direction for halo
+        receives (retransmissions re-enter the injector with the
+        sender's ``-direction``); agglomeration transfers pass ``None``
+        and are matched by level/src/rank predicates alone.
+        """
+        if self.injector is not None:
+            return self._receive_resilient(
+                level, rank, src, tag, expected_shape, direction, context
+            )
+        try:
+            payload = self.comm.irecv(rank, src, tag, level=level).wait()
+        except UnmatchedReceiveError as exc:
+            raise UnmatchedReceiveError(
+                f"{exc} (while filling {context})"
+            ) from None
+        if payload.shape != expected_shape:
+            raise RuntimeError(
+                f"{what} shape mismatch: got {payload.shape}, "
+                f"expected {expected_shape} (while filling {context})"
+            )
+        return payload
+
+    def _receive_resilient(
+        self,
+        level: int,
+        rank: int,
+        src: int,
+        tag: int,
+        expected_shape: tuple[int, ...],
+        direction: tuple[int, int, int] | None,
+        context: str,
+    ) -> np.ndarray:
+        """Checksum-validated receive with duplicate discard and bounded
+        retry.
+
+        Anomaly handling, in order: a stale sequence number is a
+        duplicate (discarded, not an attempt); an empty mailbox first
+        flushes the delay queue (a late message landing after the retry
+        timeout), then falls back to sender-side retransmission; a
+        checksum or shape failure discards the message and requests
+        retransmission.  Each retransmission passes through the injector
+        again, so persistent faults can defeat the whole budget — after
+        ``max_retries`` failed attempts the receive raises
+        :class:`ExchangeFaultError` for the recovery layer.
+        """
+        key = (rank, src, tag)
+        sender_d = None if direction is None else tuple(-c for c in direction)
+        attempts = 0
+        while True:
+            msg = self.comm.try_match(rank, src, tag, level=level)
+            if msg is not None and msg.seq < self._next_seq.get(key, 0):
+                self._fault("detect_duplicate", level, rank, src, tag,
+                            nbytes=msg.payload.nbytes)
+                continue
+            if msg is not None:
+                valid = msg.payload.shape == expected_shape and (
+                    msg.checksum is None
+                    or payload_checksum(msg.payload) == msg.checksum
+                )
+                if valid:
+                    self._next_seq[key] = msg.seq + 1
+                    return msg.payload
+                self._fault("detect_corrupt", level, rank, src, tag,
+                            nbytes=msg.payload.nbytes)
+            elif self.comm.release_delayed(rank, src, tag):
+                self._fault("detect_delay", level, rank, src, tag)
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise ExchangeFaultError(
+                        level, self._gr(rank), self._gr(src), direction,
+                        attempts - 1,
+                    )
+                self._fault("retry", level, rank, src, tag, attempt=attempts,
+                            nbytes=self.comm.logged_nbytes(rank, src, tag))
+                continue
+            else:
+                self._fault("detect_drop", level, rank, src, tag)
+            attempts += 1
+            if attempts > self.max_retries:
+                raise ExchangeFaultError(
+                    level, self._gr(rank), self._gr(src), direction,
+                    attempts - 1,
+                )
+            self._fault("retry", level, rank, src, tag, attempt=attempts,
+                        nbytes=self.comm.logged_nbytes(rank, src, tag))
+            action = self.injector.message_action(
+                level, self._gr(src), self._gr(rank), tag, sender_d,
+                self.comm.logged_nbytes(rank, src, tag),
+            )
+            try:
+                nbytes = self.comm.retransmit(
+                    rank, src, tag, fault=action, level=level
+                )
+            except UnmatchedReceiveError as exc:
+                raise UnmatchedReceiveError(
+                    f"{exc} (while filling {context})"
+                ) from None
+            self._fault("retransmit", level, rank, src, tag,
+                        nbytes=nbytes, attempt=attempts)
+
+    def drain_stale(self) -> int:
+        """Discard leftover duplicates before the end-of-solve drain check.
+
+        A duplicated message whose original was consumed in the solve's
+        final exchange on its envelope has no later receive to discard
+        it; its stale sequence number identifies it here.  Each discard
+        is recorded as a detected duplicate attributed to the channel's
+        final exchange level, inside a ``drain-stale`` span on the
+        receiving rank's timeline so the instant has an owning span in
+        per-rank Chrome exports and critical paths.  Returns the number
+        of messages discarded.
+        """
+        n = 0
+        for (rank, src, tag), expected in self._next_seq.items():
+            dropped = self.comm.discard_stale(rank, src, tag, expected)
+            for _ in range(dropped):
+                with self.tracer.child(self._gr(rank)).span(
+                    "drain-stale", l=self._last_level, src=self._gr(src),
+                    dst=self._gr(rank), tag=tag,
+                ):
+                    self._fault(
+                        "detect_duplicate", self._last_level, rank, src, tag
+                    )
+            n += dropped
+        return n
+
+
+class HaloExchange(ResilientChannel):
     """Collective 26-neighbour ghost-brick exchange over ``SimComm``.
 
     The driver runs ranks in lockstep: all sends for all ranks are
@@ -177,20 +378,12 @@ class HaloExchange:
             raise ValueError(
                 f"topology has {topology.size} ranks but comm has {comm.size}"
             )
-        if max_retries < 1:
-            raise ValueError(f"max_retries must be positive: {max_retries}")
+        super().__init__(
+            comm, recorder=recorder, injector=injector,
+            max_retries=max_retries, tracer=tracer,
+        )
         self.grid = grid
         self.topology = topology
-        self.comm = comm
-        self.recorder = recorder
-        self.tracer = tracer or NULL_TRACER
-        #: optional FaultInjector; when set, sends carry checksums and
-        #: receives validate, discard duplicates, and retry via
-        #: retransmission instead of raising on the first anomaly.
-        self.injector = injector
-        self.max_retries = int(max_retries)
-        #: next expected sequence number per (rank, src, tag) envelope
-        self._next_seq: dict[tuple[int, int, int], int] = {}
         self.boundary = boundary or BoundaryCondition.PERIODIC
         if topology.periodic != (self.boundary is BoundaryCondition.PERIODIC):
             raise ValueError(
@@ -244,6 +437,7 @@ class HaloExchange:
             raise ValueError(
                 f"need fields for all {size} ranks, got {len(fields_by_rank)}"
             )
+        self._last_level = level
         nfields = len(fields_by_rank[0])
         if any(len(f) != nfields for f in fields_by_rank):
             raise ValueError("all ranks must exchange the same fields")
@@ -269,7 +463,8 @@ class HaloExchange:
                 if self.injector is not None:
                     checksum = payload_checksum(payload)
                     action = self.injector.message_action(
-                        level, rank, dst, tag, d, payload.nbytes
+                        level, self._gr(rank), self._gr(dst), tag, d,
+                        payload.nbytes,
                     )
                 self.comm.isend(
                     rank, dst, tag, payload, checksum=checksum, fault=action,
@@ -303,9 +498,9 @@ class HaloExchange:
                 ghost = self._ghost_slots[d]
                 expected = (nfields, len(ghost)) + (self.grid.brick_dim,) * 3
                 payload = self._receive(level, rank, src, tag, d, expected)
-                with self.tracer.child(rank).span(
-                    "unpack", l=level, src=src, dst=rank, tag=tag,
-                    bytes=int(payload.nbytes),
+                with self.tracer.child(self._gr(rank)).span(
+                    "unpack", l=level, src=self._gr(src), dst=self._gr(rank),
+                    tag=tag, bytes=int(payload.nbytes),
                 ):
                     for f_idx, field in enumerate(fields):
                         field.data[ghost] = payload[f_idx]
@@ -320,9 +515,6 @@ class HaloExchange:
         if self.recorder is not None:
             self.recorder.exchange(level)
 
-    # ------------------------------------------------------------------
-    # receive paths
-    # ------------------------------------------------------------------
     def _receive(
         self,
         level: int,
@@ -333,117 +525,11 @@ class HaloExchange:
         expected_shape: tuple[int, ...],
     ) -> np.ndarray:
         """One ghost-region receive, fault-tolerant when an injector is set."""
-        if self.injector is not None:
-            return self._receive_resilient(level, rank, src, tag, d, expected_shape)
-        try:
-            payload = self.comm.irecv(rank, src, tag, level=level).wait()
-        except UnmatchedReceiveError as exc:
-            raise UnmatchedReceiveError(
-                f"{exc} (while filling rank {rank}'s ghost region along "
-                f"direction {d} at level {level})"
-            ) from None
-        if payload.shape != expected_shape:
-            raise RuntimeError(
-                f"ghost region shape mismatch: got {payload.shape}, "
-                f"expected {expected_shape} (rank {rank}, direction {d}, "
-                f"level {level})"
-            )
-        return payload
-
-    def _fault(self, kind: str, level: int, rank: int, src: int, tag: int,
-               nbytes: int = 0, attempt: int = 0) -> None:
-        if self.recorder is not None:
-            vcycle = self.injector.vcycle if self.injector is not None else -1
-            self.recorder.fault(
-                kind, vcycle=vcycle, level=level, rank=rank, src=src,
-                tag=tag, nbytes=nbytes, attempt=attempt,
-            )
-
-    def _receive_resilient(
-        self,
-        level: int,
-        rank: int,
-        src: int,
-        tag: int,
-        d: tuple[int, int, int],
-        expected_shape: tuple[int, ...],
-    ) -> np.ndarray:
-        """Checksum-validated receive with duplicate discard and bounded
-        retry.
-
-        Anomaly handling, in order: a stale sequence number is a
-        duplicate (discarded, not an attempt); an empty mailbox first
-        flushes the delay queue (a late message landing after the retry
-        timeout), then falls back to sender-side retransmission; a
-        checksum or shape failure discards the message and requests
-        retransmission.  Each retransmission passes through the injector
-        again, so persistent faults can defeat the whole budget — after
-        ``max_retries`` failed attempts the receive raises
-        :class:`ExchangeFaultError` for the recovery layer.
-        """
-        key = (rank, src, tag)
-        sender_d = tuple(-c for c in d)
-        attempts = 0
-        while True:
-            msg = self.comm.try_match(rank, src, tag, level=level)
-            if msg is not None and msg.seq < self._next_seq.get(key, 0):
-                self._fault("detect_duplicate", level, rank, src, tag,
-                            nbytes=msg.payload.nbytes)
-                continue
-            if msg is not None:
-                valid = msg.payload.shape == expected_shape and (
-                    msg.checksum is None
-                    or payload_checksum(msg.payload) == msg.checksum
-                )
-                if valid:
-                    self._next_seq[key] = msg.seq + 1
-                    return msg.payload
-                self._fault("detect_corrupt", level, rank, src, tag,
-                            nbytes=msg.payload.nbytes)
-            elif self.comm.release_delayed(rank, src, tag):
-                self._fault("detect_delay", level, rank, src, tag)
-                attempts += 1
-                if attempts > self.max_retries:
-                    raise ExchangeFaultError(level, rank, src, d, attempts - 1)
-                self._fault("retry", level, rank, src, tag, attempt=attempts,
-                            nbytes=self.comm.logged_nbytes(rank, src, tag))
-                continue
-            else:
-                self._fault("detect_drop", level, rank, src, tag)
-            attempts += 1
-            if attempts > self.max_retries:
-                raise ExchangeFaultError(level, rank, src, d, attempts - 1)
-            self._fault("retry", level, rank, src, tag, attempt=attempts,
-                        nbytes=self.comm.logged_nbytes(rank, src, tag))
-            action = self.injector.message_action(
-                level, src, rank, tag, sender_d,
-                self.comm.logged_nbytes(rank, src, tag),
-            )
-            try:
-                nbytes = self.comm.retransmit(
-                    rank, src, tag, fault=action, level=level
-                )
-            except UnmatchedReceiveError as exc:
-                raise UnmatchedReceiveError(
-                    f"{exc} (while filling rank {rank}'s ghost region along "
-                    f"direction {d} at level {level})"
-                ) from None
-            self._fault("retransmit", level, rank, src, tag,
-                        nbytes=nbytes, attempt=attempts)
-
-    def drain_stale(self) -> int:
-        """Discard leftover duplicates before the end-of-solve drain check.
-
-        A duplicated message whose original was consumed in the solve's
-        final exchange on its envelope has no later receive to discard
-        it; its stale sequence number identifies it here.  Returns the
-        number of messages discarded (each recorded as a detected
-        duplicate).
-        """
-        n = 0
-        for (rank, src, tag), expected in self._next_seq.items():
-            dropped = self.comm.discard_stale(rank, src, tag, expected)
-            for _ in range(dropped):
-                self._fault("detect_duplicate", -1, rank, src, tag)
-            n += dropped
-        return n
+        return self._receive_payload(
+            level, rank, src, tag, expected_shape, direction=d,
+            context=(
+                f"rank {self._gr(rank)}'s ghost region along direction "
+                f"{d} at level {level}"
+            ),
+            what="ghost region",
+        )

@@ -376,3 +376,115 @@ class SimComm:
                 f"undelivered messages remain in {len(leftovers)} "
                 f"mailbox(es): {detail}"
             )
+
+
+class SubComm:
+    """A communicator view over a subset of a parent :class:`SimComm`.
+
+    The distributed-MPI analogue is ``MPI_Comm_split``: agglomerated
+    coarse levels run their halo exchanges over the *active* ranks only,
+    so the exchange layer needs a communicator whose local ranks
+    ``0..n-1`` map onto the chosen global ranks.  All traffic physically
+    moves through the parent — ``sent_messages``, ``bytes_by_pair`` and
+    the per-rank trace spans keep global rank ids, so communication
+    accounting stays truthful on agglomerated levels.
+
+    Tags are shifted by ``tag_offset`` into a band reserved for this
+    sub-communicator, mirroring MPI's guarantee that messages never
+    cross communicators: the active exchange's direction tags ``0..26``
+    must not share envelopes (and hence FIFO order and sequence
+    numbering) with the full-grid exchanges between the same rank pair.
+    """
+
+    def __init__(
+        self, parent: SimComm, global_ranks, tag_offset: int
+    ) -> None:
+        ranks = tuple(int(r) for r in global_ranks)
+        if not ranks:
+            raise ValueError("SubComm needs at least one rank")
+        if len(set(ranks)) != len(ranks):
+            raise ValueError(f"duplicate ranks in SubComm: {ranks}")
+        for r in ranks:
+            parent._check_rank(r, "SubComm rank")
+        if tag_offset < 0:
+            raise ValueError(f"tag_offset must be non-negative: {tag_offset}")
+        self.parent = parent
+        self.global_ranks = ranks
+        self.size = len(ranks)
+        self.tag_offset = int(tag_offset)
+
+    def global_rank(self, local: int) -> int:
+        """Global id of communicator-local rank ``local``."""
+        if not 0 <= local < self.size:
+            raise ValueError(
+                f"local rank {local} out of range for SubComm size {self.size}"
+            )
+        return self.global_ranks[local]
+
+    # -- point to point, local ranks in / parent envelopes out ----------
+    def isend(self, src, dst, tag, payload, checksum=None, fault=None,
+              level=-1):
+        return self.parent.isend(
+            self.global_rank(src), self.global_rank(dst),
+            tag + self.tag_offset, payload, checksum=checksum, fault=fault,
+            level=level,
+        )
+
+    def irecv(self, dst, src, tag, level=-1):
+        return self.parent.irecv(
+            self.global_rank(dst), self.global_rank(src),
+            tag + self.tag_offset, level=level,
+        )
+
+    def try_match(self, dst, src, tag, level=-1):
+        return self.parent.try_match(
+            self.global_rank(dst), self.global_rank(src),
+            tag + self.tag_offset, level=level,
+        )
+
+    def release_delayed(self, dst, src, tag):
+        return self.parent.release_delayed(
+            self.global_rank(dst), self.global_rank(src),
+            tag + self.tag_offset,
+        )
+
+    def retransmit(self, dst, src, tag, fault=None, level=-1):
+        return self.parent.retransmit(
+            self.global_rank(dst), self.global_rank(src),
+            tag + self.tag_offset, fault=fault, level=level,
+        )
+
+    def logged_nbytes(self, dst, src, tag):
+        return self.parent.logged_nbytes(
+            self.global_rank(dst), self.global_rank(src),
+            tag + self.tag_offset,
+        )
+
+    def discard_stale(self, dst, src, tag, below_seq):
+        return self.parent.discard_stale(
+            self.global_rank(dst), self.global_rank(src),
+            tag + self.tag_offset, below_seq,
+        )
+
+    # -- collectives over the active ranks ------------------------------
+    def allreduce_max(self, values) -> float:
+        if len(values) != self.size:
+            raise ValueError(
+                f"allreduce needs one value per active rank: got "
+                f"{len(values)}, size {self.size}"
+            )
+        return float(np.max(values))
+
+    def allreduce_sum(self, values) -> float:
+        if len(values) != self.size:
+            raise ValueError(
+                f"allreduce needs one value per active rank: got "
+                f"{len(values)}, size {self.size}"
+            )
+        return float(np.sum(values))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SubComm(size={self.size}, ranks={self.global_ranks}, "
+            f"tag_offset={self.tag_offset})"
+        )

@@ -90,8 +90,11 @@ class FaultSpec:
         level: int,
         src: int,
         dst: int,
-        direction: tuple[int, int, int],
+        direction: tuple[int, int, int] | None,
     ) -> bool:
+        # direction is None for messages with no halo geometry (the
+        # agglomeration gather/scatter): a direction-pinned spec never
+        # matches those, a direction-free spec matches them normally.
         return (
             self.is_message_fault
             and (self.vcycle is None or self.vcycle == vcycle)
@@ -99,7 +102,11 @@ class FaultSpec:
             and (self.level is None or self.level == level)
             and (self.src is None or self.src == src)
             and (self.rank is None or self.rank == dst)
-            and (self.direction is None or self.direction == tuple(direction))
+            and (
+                self.direction is None
+                or (direction is not None
+                    and self.direction == tuple(direction))
+            )
         )
 
     def matches_kernel(self, vcycle: int, level: int, rank: int) -> bool:

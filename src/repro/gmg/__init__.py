@@ -10,6 +10,11 @@ Public entry points:
 * :mod:`~repro.gmg.problem` — the Section IV-C model problem.
 """
 
+from repro.gmg.agglomerate import (
+    AgglomerationPlan,
+    AgglomerationTransfer,
+    Agglomerator,
+)
 from repro.gmg.baseline import ArrayGMG
 from repro.gmg.boundary import BoundaryCondition, BoundaryFill
 from repro.gmg.bottom import (
@@ -21,7 +26,7 @@ from repro.gmg.bottom import (
     make_bottom_solver,
 )
 from repro.gmg.engine import EngineConfig, ExecutionEngine
-from repro.gmg.level import Level, level_brick_dim
+from repro.gmg.level import Level, level_brick_dim, make_level
 from repro.gmg.problem import (
     CONVERGENCE_TOL,
     LevelConstants,
@@ -71,6 +76,10 @@ __all__ = [
     "ExecutionEngine",
     "Level",
     "level_brick_dim",
+    "make_level",
+    "AgglomerationPlan",
+    "Agglomerator",
+    "AgglomerationTransfer",
     "ArrayGMG",
     "LevelConstants",
     "rhs_field",

@@ -138,12 +138,38 @@ class ExecutionEngine:
         rank_levels: Sequence[Sequence[Level]],
         config: EngineConfig,
         tracer=None,
+        level_groups: Sequence[Sequence[Level]] | None = None,
+        group_ranks: Sequence[Sequence[int]] | None = None,
     ) -> None:
         self.config = config
         self.rank_levels = rank_levels
         self.num_ranks = len(rank_levels)
         self.num_levels = len(rank_levels[0])
         self.tracer = tracer or NULL_TRACER
+        #: per depth: the levels that actually compute.  The default is
+        #: the rectangular one-per-rank grid; with agglomeration the
+        #: coarse groups shrink to the merged levels of the active
+        #: ranks, and the stacked storage batches exactly those.
+        self.level_groups: list[list[Level]] = (
+            [list(g) for g in level_groups]
+            if level_groups is not None
+            else [
+                [levels[lev] for levels in rank_levels]
+                for lev in range(self.num_levels)
+            ]
+        )
+        if len(self.level_groups) != self.num_levels:
+            raise ValueError(
+                f"need one level group per depth: {len(self.level_groups)} "
+                f"!= {self.num_levels}"
+            )
+        #: per depth: the global rank id owning each group member
+        #: (labels adoption trace spans truthfully on merged levels)
+        self.group_ranks: list[list[int]] = (
+            [list(g) for g in group_ranks]
+            if group_ranks is not None
+            else [list(range(len(g))) for g in self.level_groups]
+        )
         #: per depth: the stacked level, or None when batching is off
         self.stacked: list[_StackedLevel | None] = [None] * self.num_levels
         #: physical extended storage pays off only without fusion: the
@@ -159,14 +185,14 @@ class ExecutionEngine:
             elif self.ext_storage:
                 self._adopt_resident()
             if config.fuse_kernels:
-                for levels in rank_levels:
-                    for lv in levels:
+                for group in self.level_groups:
+                    for lv in group:
                         lv.fused_kernels = True
                 for st in self.stacked:
                     if st is not None:
                         st.fused_kernels = True
-            for levels in rank_levels:
-                for lv in levels:
+            for group in self.level_groups:
+                for lv in group:
                     for f in lv.fields().values():
                         f.planned_gather = True
             for st in self.stacked:
@@ -176,11 +202,11 @@ class ExecutionEngine:
 
     # ------------------------------------------------------------------
     def _adopt_resident(self) -> None:
-        """Single-layout mode: give every rank's ``x`` the extended
-        storage in place (only ``x`` is ever halo-read by the library's
-        stencils; ``Ax``/``b``/``r`` are pointwise)."""
-        for levels in self.rank_levels:
-            for lv in levels:
+        """Single-layout mode: give every compute level's ``x`` the
+        extended storage in place (only ``x`` is ever halo-read by the
+        library's stencils; ``Ax``/``b``/``r`` are pointwise)."""
+        for group in self.level_groups:
+            for lv in group:
                 resident = BrickedArray(
                     lv.grid, dtype=lv.dtype, halo_radius=STENCIL_RADIUS
                 )
@@ -188,18 +214,21 @@ class ExecutionEngine:
                 lv.x = resident
 
     def _adopt_batched(self) -> None:
-        """Stack every depth across ranks and rebind per-rank views.
+        """Stack every depth's compute group and rebind member views.
 
-        Each rank's copy-in is traced on that rank's child timeline, so
-        the adoption cost shows up in the per-rank breakdown next to the
-        rank's communication spans.
+        Each member's copy-in is traced on its owning rank's child
+        timeline, so the adoption cost shows up in the per-rank
+        breakdown next to the rank's communication spans.
         """
         for lev in range(self.num_levels):
-            base = [levels[lev] for levels in self.rank_levels]
+            base = self.level_groups[lev]
             st = _StackedLevel(base, self.ext_storage)
             self.stacked[lev] = st
             for k, lv in enumerate(base):
-                with self.tracer.child(k).span("adopt-rank", l=lev, rank=k):
+                rank = self.group_ranks[lev][k]
+                with self.tracer.child(rank).span(
+                    "adopt-rank", l=lev, rank=rank
+                ):
                     sl = st.grid.rank_slice(k)
                     for name, stacked_field in st.fields().items():
                         per_rank = getattr(lv, name)
@@ -211,15 +240,18 @@ class ExecutionEngine:
         """Precompute stacked restriction child maps so the unmodified
         inter-grid operators run directly on stacked levels."""
         for lev in range(self.num_levels - 1):
+            fine_group = self.level_groups[lev]
+            coarse_group = self.level_groups[lev + 1]
+            if len(fine_group) != len(coarse_group):
+                continue  # agglomeration transition: staged per-source
             fine_st, coarse_st = self.stacked[lev], self.stacked[lev + 1]
-            fine_b = self.rank_levels[0][lev]
-            coarse_b = self.rank_levels[0][lev + 1]
+            fine_b, coarse_b = fine_group[0], coarse_group[0]
             if fine_b.grid.brick_dim != coarse_b.grid.brick_dim:
                 continue  # those pairs use the per-rank dense fallback
             base_child = ops._child_slot_map(coarse_b, fine_b)
             S_fine = fine_b.grid.num_slots
             stacked_child = np.concatenate(
-                [base_child + k * S_fine for k in range(self.num_ranks)]
+                [base_child + k * S_fine for k in range(len(fine_group))]
             )
             key = (
                 "child_map",
@@ -240,6 +272,8 @@ class ExecutionEngine:
         inter-grid path, or None when it does not apply."""
         if not self.config.batch_ranks:
             return None
+        if len(self.level_groups[lev]) != len(self.level_groups[lev + 1]):
+            return None  # agglomeration transition: gather/scatter path
         fine, coarse = self.stacked[lev], self.stacked[lev + 1]
         if fine is None or coarse is None:
             return None

@@ -17,6 +17,7 @@ True
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -72,6 +73,13 @@ class SolverConfig:
     halo_resident: bool = False
     fuse_kernels: bool = False
     batch_ranks: bool = False
+    #: coarse-level agglomeration (repro.gmg.agglomerate): when a
+    #: level's per-rank subdomain falls below this many points, merge
+    #: subdomains onto a factor-of-8-smaller active rank grid.  None
+    #: (default) disables agglomeration — the bit-identical seed
+    #: schedule.  The paper-scale sweet spot is a few thousand points
+    #: (the surface-to-volume knee); tiny thresholds never trigger.
+    agglomerate_threshold: int | None = None
 
     def __post_init__(self) -> None:
         from repro.gmg.bottom import BOTTOM_SOLVERS
@@ -104,6 +112,19 @@ class SolverConfig:
                 "the FFT bottom solver diagonalises the periodic operator "
                 "only; use 'relaxation' or 'cg' with Dirichlet/Neumann"
             )
+        if self.agglomerate_threshold is not None:
+            if self.agglomerate_threshold < 1:
+                raise ValueError(
+                    "agglomerate_threshold must be positive (or None to "
+                    f"disable): {self.agglomerate_threshold}"
+                )
+            if self.bottom_solver in ("cg", "fft"):
+                raise ValueError(
+                    f"the {self.bottom_solver!r} bottom solver reduces over "
+                    "the full communicator and cannot run on an "
+                    "agglomerated coarsest level; use 'relaxation' with "
+                    "agglomerate_threshold"
+                )
         if self.global_cells < 2:
             raise ValueError("global_cells must be at least 2")
         if self.num_levels < 1:
@@ -180,11 +201,16 @@ class SolveResult:
 
         1.0 when no cycles ran — including a solve that stopped on the
         initial residual (already below tolerance) — since no reduction
-        was performed.
+        was performed.  A history whose endpoints are not finite (a
+        diverged solve that overflowed to ``inf``/``nan``) has no
+        meaningful geometric mean: it reports ``nan`` instead of
+        propagating ``(inf / first) ** (1/n)``.
         """
         if self.num_vcycles <= 0 or len(self.residual_history) < 2:
             return 1.0
         first, last = self.residual_history[0], self.residual_history[-1]
+        if not (math.isfinite(first) and math.isfinite(last)):
+            return float("nan")
         if first <= 0:
             return 0.0
         return (last / first) ** (1.0 / self.num_vcycles)
@@ -307,6 +333,32 @@ class GMGSolver:
         from repro.gmg.bottom import make_bottom_solver
         from repro.gmg.smoothers import make_smoother
 
+        self.agglomerator = None
+        if (
+            config.agglomerate_threshold is not None
+            and self.comm is not None
+        ):
+            from repro.gmg.agglomerate import Agglomerator
+
+            agglomerator = Agglomerator(
+                config,
+                self.topology,
+                self.comm,
+                recorder=self.recorder,
+                boundary=self.boundary,
+                injector=self.injector,
+                max_retries=(
+                    self.resilience.max_retries
+                    if self.resilience is not None
+                    else 3
+                ),
+                tracer=self.tracer,
+            )
+            # a threshold too small to merge anything leaves the seed
+            # schedule untouched (and unpoliced levels un-built)
+            if agglomerator.active:
+                self.agglomerator = agglomerator
+
         self.engine = None
         engine_config = EngineConfig(
             halo_resident=config.halo_resident,
@@ -317,7 +369,23 @@ class GMGSolver:
             # adopt after _init_rhs so the stacked/extended storage
             # inherits the initialised right-hand side
             self.engine = ExecutionEngine(
-                self.rank_levels, engine_config, tracer=self.tracer
+                self.rank_levels,
+                engine_config,
+                tracer=self.tracer,
+                level_groups=(
+                    self.agglomerator.level_groups(self.rank_levels)
+                    if self.agglomerator is not None
+                    else None
+                ),
+                group_ranks=(
+                    [
+                        self.agglomerator.ranks_at(lev)
+                        or list(range(self.topology.size))
+                        for lev in range(config.num_levels)
+                    ]
+                    if self.agglomerator is not None
+                    else None
+                ),
             )
 
         bottom_kwargs = dict(config.bottom_options)
@@ -343,6 +411,7 @@ class GMGSolver:
             fault_injector=self.injector,
             engine=self.engine,
             tracer=self.tracer,
+            agglomerator=self.agglomerator,
         )
 
     def _init_rhs(self) -> None:
@@ -408,6 +477,9 @@ class GMGSolver:
                 for ex in self.exchangers:
                     if isinstance(ex, HaloExchange):
                         ex.drain_stale()
+                if self.agglomerator is not None:
+                    for channel in self.agglomerator.channels():
+                        channel.drain_stale()
                 self.comm.assert_drained()
         return SolveResult(
             converged=outcome.converged,

@@ -107,6 +107,7 @@ class VCycle:
         fault_injector=None,
         engine=None,
         tracer=None,
+        agglomerator=None,
     ) -> None:
         if not rank_levels or not rank_levels[0]:
             raise ValueError("need at least one rank with at least one level")
@@ -137,6 +138,11 @@ class VCycle:
         #: optional ExecutionEngine (repro.gmg.engine): batched/fused/
         #: halo-resident execution, bit-identical to the per-rank path
         self.engine = engine
+        #: optional Agglomerator (repro.gmg.agglomerate): below its
+        #: threshold, coarse levels compute on merged subdomains owned
+        #: by a shrinking active rank grid — bit-identical numerics,
+        #: structurally fewer and larger messages
+        self.agglomerator = agglomerator
         #: span tracer (repro.obs); the shared null tracer when tracing
         #: is off, so the hot path never branches on "is tracing on?"
         self.tracer = tracer or NULL_TRACER
@@ -156,7 +162,7 @@ class VCycle:
         halo per exchange."""
         per_iter = self.smoother.ghost_cells_per_iteration
         for lev in range(self.num_levels):
-            depth = self.rank_levels[0][lev].ghost_depth_cells
+            depth = self.levels_at(lev)[0].ghost_depth_cells
             if per_iter > depth:
                 raise ValueError(
                     f"smoother consumes {per_iter} halo cells per iteration "
@@ -165,14 +171,37 @@ class VCycle:
 
     # ------------------------------------------------------------------
     def levels_at(self, lev: int) -> list[Level]:
-        """All ranks' :class:`Level` objects at depth ``lev``."""
+        """The :class:`Level` objects that compute depth ``lev`` —
+        one per rank normally, one per *active* rank when the
+        agglomerator merged the level."""
+        if self.agglomerator is not None:
+            merged = self.agglomerator.levels_at(lev)
+            if merged is not None:
+                return merged
         return [levels[lev] for levels in self.rank_levels]
+
+    def ranks_at(self, lev: int) -> list[int]:
+        """Global rank ids owning the compute levels of ``lev``."""
+        if self.agglomerator is not None:
+            active = self.agglomerator.ranks_at(lev)
+            if active is not None:
+                return active
+        return list(range(len(self.rank_levels)))
+
+    def exchanger_at(self, lev: int):
+        """The exchanger serving depth ``lev`` (active-rank scoped on
+        agglomerated levels)."""
+        if self.agglomerator is not None:
+            ex = self.agglomerator.exchanger_at(lev)
+            if ex is not None:
+                return ex
+        return self.exchangers[lev]
 
     def iterations_per_exchange(self, lev: int) -> int:
         """Smoothing iterations one exchange's halo budget supports."""
         if not self.communication_avoiding:
             return 1
-        depth = self.rank_levels[0][lev].ghost_depth_cells
+        depth = self.levels_at(lev)[0].ghost_depth_cells
         return max(1, depth // self.smoother.ghost_cells_per_iteration)
 
     def exchanges_per_visit(self, lev: int, smooths: int | None = None) -> int:
@@ -205,7 +234,7 @@ class VCycle:
                     else:
                         fields = [[lv.x, lv.b] for lv in levels]
                         b_exchanged = True
-                    self.exchangers[lev].exchange(lev, fields)
+                    self.exchanger_at(lev).exchange(lev, fields)
                     ghost_valid = budget
                 if stacked is not None:
                     self.smoother.iterate(stacked, with_residual, self.recorder)
@@ -216,8 +245,9 @@ class VCycle:
             if self.fault_injector is not None:
                 # Silent-data-corruption model: the smoother "wrote" a bad
                 # value into its output field on whichever ranks the plan
-                # targets at this (vcycle, level).
-                for rank, lv in enumerate(levels):
+                # targets at this (vcycle, level).  Ranks are global ids:
+                # on agglomerated levels only the active ranks own state.
+                for rank, lv in zip(self.ranks_at(lev), levels):
                     self.fault_injector.kernel_sdc(lev, rank, lv.x)
 
     # ------------------------------------------------------------------
@@ -226,41 +256,83 @@ class VCycle:
             return None
         return self.engine.stacked_intergrid_pair(lev)
 
+    def _transfer_at(self, lev: int):
+        if self.agglomerator is None:
+            return None
+        return self.agglomerator.transfer_at(lev)
+
+    def _init_zero(self, lev: int) -> None:
+        with self.tracer.span("initZero", l=lev):
+            for lv in self.levels_at(lev):
+                lv.init_zero()
+                if self.recorder is not None:
+                    self.recorder.kernel(lev, "initZero", lv.num_points)
+
     def _restrict(self, lev: int) -> None:
+        agg = self.agglomerator
+        merged_fine = agg is not None and agg.plan.is_agglomerated(lev)
+        transfer = self._transfer_at(lev + 1)
+        if transfer is not None:
+            # Transition level: restrict per source rank into the
+            # staging levels (bit-identical to the unagglomerated
+            # restriction — per-rank shapes at the first transition,
+            # the canonical per-rank association when the fine side is
+            # itself merged), then gather the staged blocks onto the
+            # shrunken active rank grid.
+            staging = agg.staging_levels[lev + 1]
+            with self.tracer.span("restriction", l=lev):
+                if merged_fine:
+                    agg.canonical_restriction(
+                        lev, self.levels_at(lev), staging, self.recorder
+                    )
+                else:
+                    for fine, stage in zip(self.levels_at(lev), staging):
+                        ops.restriction(fine, stage, self.recorder)
+            transfer.gather()
+            self._init_zero(lev + 1)
+            return
+        if merged_fine:
+            # Merged -> merged on the same active grid: the canonical
+            # split keeps the reduction association per-rank exact.
+            with self.tracer.span("restriction", l=lev):
+                agg.canonical_restriction(
+                    lev, self.levels_at(lev), self.levels_at(lev + 1),
+                    self.recorder,
+                )
+            self._init_zero(lev + 1)
+            return
         pair = self._stacked_pair(lev)
         if pair is not None:
             # one vectorised brick-native restriction over all ranks
             with self.tracer.span("restriction", l=lev):
                 ops.restriction(pair[0], pair[1], self.recorder)
-            with self.tracer.span("initZero", l=lev + 1):
-                for levels in self.rank_levels:
-                    levels[lev + 1].init_zero()
-                    if self.recorder is not None:
-                        self.recorder.kernel(
-                            lev + 1, "initZero", levels[lev + 1].num_points
-                        )
+            self._init_zero(lev + 1)
             return
         with self.tracer.span("restriction", l=lev):
-            for levels in self.rank_levels:
-                ops.restriction(levels[lev], levels[lev + 1], self.recorder)
-        with self.tracer.span("initZero", l=lev + 1):
-            for levels in self.rank_levels:
-                levels[lev + 1].init_zero()
-                if self.recorder is not None:
-                    self.recorder.kernel(
-                        lev + 1, "initZero", levels[lev + 1].num_points
-                    )
+            for fine, coarse in zip(self.levels_at(lev), self.levels_at(lev + 1)):
+                ops.restriction(fine, coarse, self.recorder)
+        self._init_zero(lev + 1)
 
     def _interpolate(self, lev: int) -> None:
+        transfer = self._transfer_at(lev + 1)
+        if transfer is not None:
+            # Transition level: scatter the merged correction back to
+            # the staged blocks, then interpolate per source rank
+            # (interpolation reads only the coarse interior, so the
+            # staged blocks need no ghost exchange).
+            transfer.scatter()
+            staging = self.agglomerator.staging_levels[lev + 1]
+            with self.tracer.span("interpolation+increment", l=lev):
+                for fine, stage in zip(self.levels_at(lev), staging):
+                    ops.interpolation_increment(stage, fine, self.recorder)
+            return
         with self.tracer.span("interpolation+increment", l=lev):
             pair = self._stacked_pair(lev)
             if pair is not None:
                 ops.interpolation_increment(pair[1], pair[0], self.recorder)
                 return
-            for levels in self.rank_levels:
-                ops.interpolation_increment(
-                    levels[lev + 1], levels[lev], self.recorder
-                )
+            for fine, coarse in zip(self.levels_at(lev), self.levels_at(lev + 1)):
+                ops.interpolation_increment(coarse, fine, self.recorder)
 
     def _cycle(self, lev: int, kind: str) -> None:
         """Recursive multigrid cycle of the given kind at ``lev``."""

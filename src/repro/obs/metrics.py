@@ -79,6 +79,28 @@ class MetricsRegistry:
         self.counter("faults.injected", recorder.injected_faults)
         self.counter("faults.detected", recorder.detected_faults)
 
+    def observe_agglomeration(self, agglomerator) -> None:
+        """Record the active-rank shape of an agglomerated solve.
+
+        One gauge per level: how many ranks computed it, plus the
+        merged per-rank point count — the structural facts behind any
+        drop in the per-level message counters.
+        """
+        plan = agglomerator.plan
+        for lev in range(plan.num_levels):
+            self.gauge(
+                f"agglomeration.level{lev}.active_ranks",
+                plan.active_count(lev),
+            )
+            cells = plan.level_cells(lev)
+            self.gauge(
+                f"agglomeration.level{lev}.points_per_rank",
+                cells[0] * cells[1] * cells[2],
+            )
+        self.gauge(
+            "agglomeration.threshold_points", plan.threshold_points
+        )
+
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """One exportable view: ``{"counters": {...}, "gauges": {...}}``.
@@ -104,11 +126,14 @@ class MetricsRegistry:
         )
 
 
-def solve_metrics(recorder: Recorder, tracer=None) -> MetricsRegistry:
+def solve_metrics(
+    recorder: Recorder, tracer=None, agglomerator=None
+) -> MetricsRegistry:
     """Registry for one finished solve.
 
     Bridges the recorder and, when a recording tracer is supplied, adds
-    trace-derived gauges (span counts and total traced wall-clock).
+    trace-derived gauges (span counts and total traced wall-clock); an
+    agglomerated solve additionally reports its active-rank shape.
     """
     registry = MetricsRegistry()
     registry.observe_recorder(recorder)
@@ -116,4 +141,6 @@ def solve_metrics(recorder: Recorder, tracer=None) -> MetricsRegistry:
         registry.gauge("trace.spans", len(tracer.spans))
         registry.gauge("trace.instants", len(tracer.instants))
         registry.gauge("trace.wallclock_s", tracer.total_time())
+    if agglomerator is not None:
+        registry.observe_agglomeration(agglomerator)
     return registry

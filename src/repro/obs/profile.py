@@ -129,7 +129,9 @@ def profile_solve(
         coverage=span_coverage(tracer),
         rows=rows,
         machine_name=machine_name,
-        metrics=solve_metrics(result.recorder, tracer).snapshot(),
+        metrics=solve_metrics(
+            result.recorder, tracer, agglomerator=solver.agglomerator
+        ).snapshot(),
     )
     if trace_path is not None:
         write_chrome_trace(

@@ -120,3 +120,51 @@ def test_roundtrip_property(n, b, ordering, seed):
     grid = BrickGrid((n, n, n), b, ghost_bricks=1, ordering=ordering)
     dense = np.random.default_rng(seed).random(grid.shape_cells)
     assert np.array_equal(BrickedArray.from_ijk(grid, dense).to_ijk(), dense)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(1, 3),
+    b=st.sampled_from([2, 3, 4]),
+    r=st.integers(1, 2),
+    ordering=st.sampled_from(["lexicographic", "surface-major"]),
+    seed=st.integers(0, 2**31),
+)
+def test_deep_shell_periodic_matches_dense_roll(n, b, r, ordering, seed):
+    """Resident-shell periodic fill: every interior brick's extended
+    block — faces, edges, AND corners of the shell, at any supported
+    ``halo_radius`` — must equal the dense periodic neighbourhood.
+
+    The reference is a plain ``np.roll``: rolling the dense field by
+    ``r - origin`` puts the brick's wrapped ``(B + 2r)³`` neighbourhood
+    at the front of the array (tiled, so a shell deeper than the domain
+    wraps more than once — the 1-brick-per-axis case).  Agglomerated
+    gathers reassemble coarse levels through ``set_interior`` and rely
+    on this shell being exact before the first smoothing kernel reads
+    it.
+    """
+    from repro.bricks.halo_plan import refresh_shell
+
+    grid = BrickGrid((n, n, n), b, ghost_bricks=1, ordering=ordering)
+    dense = np.random.default_rng(seed).random(grid.shape_cells)
+    field = BrickedArray.zeros(grid, halo_radius=r)
+    field.set_interior(dense)
+    field.fill_ghost_periodic()
+    refresh_shell(field)
+    for bi in range(n):
+        for bj in range(n):
+            for bk in range(n):
+                rolled = np.roll(
+                    dense,
+                    shift=(r - bi * b, r - bj * b, r - bk * b),
+                    axis=(0, 1, 2),
+                )
+                expected = np.tile(rolled, (3, 3, 3))[
+                    : b + 2 * r, : b + 2 * r, : b + 2 * r
+                ]
+                got = field.ext_data[grid.slot_of((bi, bj, bk))]
+                np.testing.assert_array_equal(
+                    got, expected,
+                    err_msg=f"brick {(bi, bj, bk)} shell wrong "
+                            f"(B={b}, r={r}, n={n}, ordering={ordering})",
+                )

@@ -160,6 +160,41 @@ class TestMessageFaultRecovery:
         # solve() already drained: no undelivered messages may remain
         solver.comm.assert_drained()
 
+    def test_drained_duplicate_attributed_to_final_exchange(self):
+        """A duplicate that survives to the end-of-solve drain (its
+        original was consumed by the solve's *final* exchange on that
+        envelope, so no later receive discarded it) must be attributed
+        to that exchange's level, inside an owning ``drain-stale`` span
+        on the receiving rank's timeline — not recorded as ``level=-1``
+        floating outside every V-cycle window, where commviz critical
+        paths and the per-rank Chrome export orphan it.
+        """
+        from repro.obs.tracer import Tracer
+
+        # max_vcycles=0: the initial residual check's level-0 exchange
+        # is the solve's only (hence final) exchange
+        plan = FaultPlan.single("duplicate", vcycle=0, level=0)
+        tracer = Tracer()
+        solver = GMGSolver(
+            small_config(max_vcycles=0), fault_plan=plan, tracer=tracer
+        )
+        result = solver.solve()
+        assert result.status == "max_vcycles"
+        assert result.fault_counts["inject_duplicate"] == 1
+        dups = result.recorder.faults_of("detect_duplicate")
+        assert len(dups) == 1
+        assert dups[0].level == 0
+        assert dups[0].rank >= 0
+        drains = [
+            s
+            for rank_tracer in tracer.children.values()
+            for s in rank_tracer.spans
+            if s.name == "drain-stale"
+        ]
+        assert len(drains) == 1
+        assert drains[0].attrs["l"] == 0
+        solver.comm.assert_drained()
+
     def test_counts_match_plan_exactly(self, reference):
         plan = FaultPlan(
             specs=(
@@ -290,6 +325,37 @@ class TestSolveResultEdgeCases:
     def test_executed_defaults_to_clean(self):
         r = self.make([1.0, 1e-12], 1)
         assert r.executed_vcycles == 1
+
+    def test_non_finite_history_clamps_factor_to_nan(self):
+        """A diverged history that overflowed must not report an ``inf``
+        (or bogus complex/NaN-power) convergence factor."""
+        for last in (float("inf"), float("nan")):
+            r = self.make([1e-3, 1e100, last], 2, status="diverged")
+            assert r.status == "diverged"
+            assert math.isnan(r.convergence_factor)
+        # a non-finite *initial* residual is just as meaningless
+        r = self.make([float("inf"), 1.0], 1, status="diverged")
+        assert math.isnan(r.convergence_factor)
+
+    def test_finite_divergence_still_reports_growth(self):
+        """The clamp must not touch finite diverging histories: a >1
+        factor is the honest report there."""
+        r = self.make([1.0, 4.0, 16.0], 2, status="diverged")
+        assert r.convergence_factor == pytest.approx(4.0)
+
+    def test_diverged_solve_has_finite_or_nan_factor(self):
+        """End-to-end diverged-status solve: an unreachable tolerance
+        stalls the residual at machine precision, the resilient driver
+        flags stagnation (status ``diverged``), and
+        ``convergence_factor`` must never come back as ``inf``/complex —
+        finite or ``nan`` only."""
+        config = small_config(max_vcycles=60, tol=1e-300)
+        solver = GMGSolver(config, resilience=ResilienceConfig())
+        result = solver.solve()
+        assert result.status == "diverged"
+        cf = result.convergence_factor
+        assert isinstance(cf, float)
+        assert math.isnan(cf) or math.isfinite(cf)
 
 
 class TestOverheadPricing:

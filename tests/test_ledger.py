@@ -160,7 +160,7 @@ class TestPerfgateCommand:
 
         ledger_dir, candidate = seeded
         rc = main(["perfgate", "--ledger", str(ledger_dir),
-                   "--candidate", str(candidate)])
+                   "--candidate", str(candidate), "--window", "1"])
         assert rc == 0
         assert "no regressions" in capsys.readouterr().out
 
@@ -169,7 +169,7 @@ class TestPerfgateCommand:
 
         ledger_dir, candidate = seeded
         rc = main(["perfgate", "--ledger", str(ledger_dir),
-                   "--candidate", str(candidate),
+                   "--candidate", str(candidate), "--window", "1",
                    "--inject-slowdown", "20"])
         assert rc == 1
         assert "REGRESSION" in capsys.readouterr().out
@@ -179,7 +179,7 @@ class TestPerfgateCommand:
 
         ledger_dir, candidate = seeded
         rc = main(["perfgate", "--ledger", str(ledger_dir),
-                   "--candidate", str(candidate),
+                   "--candidate", str(candidate), "--window", "1",
                    "--inject-slowdown", "20", "--warn-only"])
         assert rc == 0
         assert "warn-only" in capsys.readouterr().out
@@ -214,6 +214,38 @@ class TestPerfgateCommand:
                    "--candidate", str(candidate)])
         assert rc == 0
         assert "no baseline" in capsys.readouterr().out
+
+    def test_empty_ledger_file_takes_no_baseline_path(self, tmp_path, capsys):
+        """A zero-entry ledger file (truncated / fresh reset) must not
+        error and must still record the candidate with ``--update``."""
+        from repro.cli import main
+
+        ledger_dir = tmp_path / "ledger"
+        ledger_dir.mkdir()
+        (ledger_dir / "kernel_hotpath.jsonl").write_text("")
+        candidate = tmp_path / "BENCH.json"
+        candidate.write_text(json.dumps(PAYLOAD))
+        rc = main(["perfgate", "--ledger", str(ledger_dir),
+                   "--candidate", str(candidate), "--update"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no baseline" in out
+        assert "recorded candidate" in out
+        assert len(PerfLedger(ledger_dir).entries("kernel_hotpath")) == 1
+
+    def test_shorter_than_window_history_does_not_gate(self, seeded, capsys):
+        """One entry under the default min-of-k window is not a
+        baseline: even a slowed candidate passes (exit 0, no gate)."""
+        from repro.cli import main
+
+        ledger_dir, candidate = seeded
+        rc = main(["perfgate", "--ledger", str(ledger_dir),
+                   "--candidate", str(candidate),
+                   "--inject-slowdown", "20"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no baseline" in out
+        assert "1 recorded entries < min-of-3 window" in out
 
 
 class TestLoadCandidate:
