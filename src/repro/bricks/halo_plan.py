@@ -302,6 +302,21 @@ def offset_plan_for(grid, offsets, halo_radius: int = 0) -> OffsetGatherPlan:
     return plan
 
 
+def clear_offset_plan_cache() -> int:
+    """Drop every cached :class:`OffsetGatherPlan`.
+
+    Communicator repair rebuilds the exchange machinery from scratch;
+    clearing the shared plan cache forces the index tables to re-derive
+    from the (unchanged) grid geometry, proving the rebuilt path does
+    not depend on any pre-crash cached state.  Plans are pure functions
+    of geometry, so re-derivation is bit-identical.  Returns the number
+    of plans dropped.
+    """
+    n = len(_OFFSET_PLAN_CACHE)
+    _OFFSET_PLAN_CACHE.clear()
+    return n
+
+
 def plan_for(grid, radius: int) -> HaloPlan:
     """The (cached) :class:`HaloPlan` of ``grid`` at ``radius``."""
     per_grid = _PLAN_CACHE.get(grid)

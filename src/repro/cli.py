@@ -369,19 +369,76 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _record_sweep_entry(entry, ledger_dir: str) -> None:
+    """Stamp and append a sweep's ledger entry (shared by both sweeps)."""
+    from datetime import datetime, timezone
+
+    from repro.obs.ledger import PerfLedger
+
+    entry.recorded_at = datetime.now(timezone.utc).isoformat(
+        timespec="seconds"
+    )
+    path = PerfLedger(ledger_dir).record(entry)
+    print(f"recorded sweep in {path}")
+
+
 def _cmd_faultsweep(args: argparse.Namespace) -> int:
-    from repro.faults.sweep import fault_sweep, render_fault_sweep
+    from repro.faults.sweep import (
+        fault_sweep,
+        render_fault_sweep,
+        sweep_ledger_entry,
+    )
 
     machine = None if args.machine == "none" else args.machine
     dims = tuple(int(v) for v in args.ranks.split(","))
     rows = fault_sweep(seed=args.seed, machine_name=machine, rank_dims=dims)
     print(render_fault_sweep(rows, machine))
+    if args.update:
+        _record_sweep_entry(
+            sweep_ledger_entry(rows, args.seed, dims, machine), args.ledger
+        )
     # Success = every scenario ended in a structured status and the
     # recoverable ones converged back to the reference solution.
     recoverable = [r for r in rows if r.scenario != "drop-storm"]
     ok = all(r.status == "converged" for r in recoverable) and all(
         r.bit_identical for r in recoverable
     )
+    return 0 if ok else 1
+
+
+def _cmd_chaossweep(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import (
+        chaos_ledger_entry,
+        chaos_passed,
+        chaos_sweep,
+        render_chaos_sweep,
+    )
+
+    dims = tuple(int(v) for v in args.ranks.split(","))
+    cycles = tuple(int(v) for v in args.crash_cycles.split(","))
+    counts = tuple(int(v) for v in args.crash_counts.split(","))
+    intervals = tuple(int(v) for v in args.checkpoint_intervals.split(","))
+    rows = chaos_sweep(
+        seed=args.seed,
+        rank_dims=dims,
+        crash_cycles=cycles,
+        crash_counts=counts,
+        checkpoint_intervals=intervals,
+        storm=args.storm,
+    )
+    print(render_chaos_sweep(rows))
+    if args.update:
+        _record_sweep_entry(chaos_ledger_entry(rows, args.seed, dims), args.ledger)
+    ok = chaos_passed(rows, storm=args.storm)
+    if args.storm:
+        storm_rows = [r for r in rows if r.scenario == "crash-storm"]
+        degraded = all(r.status == "failed_faults" for r in storm_rows)
+        print(
+            "crash-storm cell "
+            + ("degraded to failed_faults as designed" if degraded
+               else f"ended {[r.status for r in storm_rows]} — NOT degrading")
+        )
+        print("storm run: unrecoverable crash present, gate fails by design")
     return 0 if ok else 1
 
 
@@ -577,7 +634,51 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["Perlmutter", "Frontier", "Sunspot", "none"],
         help="machine pricing the resilience overhead ('none' to skip)",
     )
+    faultsweep.add_argument(
+        "--ledger", default="benchmarks/results/ledger", metavar="DIR",
+        help="ledger directory for --update (default benchmarks/results/ledger)",
+    )
+    faultsweep.add_argument(
+        "--update", action="store_true",
+        help="append the sweep's metrics to the resilience ledger",
+    )
     faultsweep.set_defaults(func=_cmd_faultsweep)
+
+    chaossweep = sub.add_parser(
+        "chaossweep",
+        help="seeded rank-crash matrix: buddy restore / communicator "
+             "repair, with recovery-SLO ledger output",
+    )
+    chaossweep.add_argument("--seed", type=int, default=2024,
+                            help="seed choosing the crash victims")
+    chaossweep.add_argument("--ranks", default="2,2,2",
+                            help="rank grid, e.g. 2,2,2 (default 2,2,2)")
+    chaossweep.add_argument(
+        "--crash-cycles", default="1,3", metavar="LIST",
+        help="comma list of V-cycle indices to crash at (default 1,3)",
+    )
+    chaossweep.add_argument(
+        "--crash-counts", default="1,2", metavar="LIST",
+        help="comma list of simultaneous crash counts (default 1,2)",
+    )
+    chaossweep.add_argument(
+        "--checkpoint-intervals", default="1,2", metavar="LIST",
+        help="comma list of checkpoint intervals to try (default 1,2)",
+    )
+    chaossweep.add_argument(
+        "--ledger", default="benchmarks/results/ledger", metavar="DIR",
+        help="ledger directory for --update (default benchmarks/results/ledger)",
+    )
+    chaossweep.add_argument(
+        "--update", action="store_true",
+        help="append the run's recovery SLOs to the chaos ledger",
+    )
+    chaossweep.add_argument(
+        "--storm", action="store_true",
+        help="add an unrecoverable persistent-crash cell; the gate then "
+             "fails by design (inverted self-test)",
+    )
+    chaossweep.set_defaults(func=_cmd_chaossweep)
 
     validate = sub.add_parser(
         "validate", help="run the artifact-style self-checks"

@@ -203,6 +203,44 @@ class ResilientChannel:
         mapper = getattr(self.comm, "global_rank", None)
         return rank if mapper is None else mapper(rank)
 
+    def _root_comm(self):
+        """The root :class:`SimComm` under any ``SubComm`` views."""
+        comm = self.comm
+        while hasattr(comm, "parent"):
+            comm = comm.parent
+        return comm
+
+    def _is_dead(self, rank: int) -> bool:
+        """Is communicator-local ``rank`` a dead endpoint?"""
+        dead = getattr(self.comm, "is_dead", None)
+        return False if dead is None else dead(rank)
+
+    def poll_crashes(self, level: int) -> list[int]:
+        """Fire level-pinned ``rank_crash`` specs on entry to a collective.
+
+        Kills the victims' endpoints on the *root* communicator (crash
+        specs always name global ranks), so the very next touch of a
+        victim raises :class:`~repro.comm.simmpi.RankDeadError` for the
+        recovery ladder.  Returns the global ranks killed.
+        """
+        if self.injector is None:
+            return []
+        victims = self.injector.crashes_due(level)
+        if victims:
+            root = self._root_comm()
+            for rank in victims:
+                root.kill(rank)
+        return victims
+
+    def reset_envelopes(self) -> None:
+        """Forget per-envelope sequence state after a communicator repair.
+
+        Repair clears the communicator's send logs and sequence
+        counters; a channel that kept expecting pre-repair sequence
+        numbers would discard every post-repair message as a duplicate.
+        """
+        self._next_seq.clear()
+
     def _fault(self, kind: str, level: int, rank: int, src: int, tag: int,
                nbytes: int = 0, attempt: int = 0) -> None:
         if self.recorder is not None:
@@ -424,6 +462,13 @@ class HaloExchange(ResilientChannel):
         fields.  The whole collective phase (sends, receives including
         any fault retries, boundary fills) runs inside one ``exchange``
         span, so fault instants fired during receives land inside it.
+
+        Level-pinned ``rank_crash`` specs fire on entry; once a rank is
+        dead, every send/receive touching it is skipped so the
+        collective completes for the survivors (no hung waitall) —
+        the crash then surfaces as :class:`RankDeadError` at the next
+        residual reduction, which is the recovery ladder's guaranteed
+        detection point.
         """
         nfields = len(fields_by_rank[0]) if fields_by_rank else 0
         with self.tracer.span("exchange", l=level, nfields=nfields):
@@ -448,13 +493,19 @@ class HaloExchange(ResilientChannel):
                 ):
                     raise ValueError("field grid incompatible with exchanger grid")
 
+        self.poll_crashes(level)
+
         # Phase 1: every rank posts one aggregated send per direction.
         for rank in range(size):
+            if self._is_dead(rank):
+                continue  # a dead endpoint posts nothing
             fields = fields_by_rank[rank]
             for d in NEIGHBOR_DIRECTIONS:
                 dst = self.topology.neighbor(rank, d)
                 if dst is None:
                     continue  # domain boundary: nothing to send
+                if self._is_dead(dst):
+                    continue  # no endpoint to deliver to
                 payload = np.stack(
                     [f.data[self._send_slots[d]] for f in fields]
                 )
@@ -487,11 +538,15 @@ class HaloExchange(ResilientChannel):
         # pointing back to us is d's opposite); see the matching rule
         # in BrickGrid.send_region_slots.
         for rank in range(size):
+            if self._is_dead(rank):
+                continue  # a dead endpoint receives nothing
             fields = fields_by_rank[rank]
             for d in NEIGHBOR_DIRECTIONS:
                 src = self.topology.neighbor(rank, d)
                 if src is None:
                     continue  # filled by the boundary condition below
+                if self._is_dead(src):
+                    continue  # sender died: ghost stays stale until recovery
                 # Our ghost region in direction d is the neighbour's
                 # send region in direction -d, tagged with -d's index.
                 tag = direction_index(tuple(-c for c in d))
@@ -509,6 +564,8 @@ class HaloExchange(ResilientChannel):
         # (after all receives — corner mirrors read exchanged ghosts).
         if self._fills is not None:
             for rank in range(size):
+                if self._is_dead(rank):
+                    continue
                 for field in fields_by_rank[rank]:
                     self._fills[rank].apply(field)
 

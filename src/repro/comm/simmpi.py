@@ -42,6 +42,26 @@ class UnmatchedReceiveError(RuntimeError):
     """
 
 
+class RankDeadError(RuntimeError):
+    """An operation touched a crashed rank's endpoint.
+
+    The simulator's analogue of ``MPI_ERR_PROC_FAILED``: after
+    :meth:`SimComm.kill`, every send to, receive from, or collective
+    including the dead rank raises this — so the failure surfaces to
+    every peer that touches the victim, exactly as ULFM error handlers
+    deliver it.  The recovery driver catches it, agrees on the dead set
+    (:meth:`SimComm.agree_dead`) and repairs the communicator
+    (:meth:`SimComm.repair`); it never escapes a resilient solve.
+    """
+
+    def __init__(self, rank: int, op: str = "") -> None:
+        self.rank = int(rank)
+        msg = f"rank {rank} is dead"
+        if op:
+            msg += f" ({op})"
+        super().__init__(msg)
+
+
 @dataclass
 class _Message:
     """One in-flight transmission: payload plus resilience header."""
@@ -117,10 +137,66 @@ class SimComm:
         self.sent_bytes = 0
         self.retransmissions = 0
         self.bytes_by_pair: dict[tuple[int, int], int] = defaultdict(int)
+        #: crashed endpoints; every operation touching one raises
+        #: RankDeadError until repair() revives it
+        self._dead: set[int] = set()
+        self.repairs = 0
 
     def _check_rank(self, rank: int, what: str) -> None:
         if not 0 <= rank < self.size:
             raise ValueError(f"{what} {rank} out of range for size {self.size}")
+
+    # ------------------------------------------------------------------
+    # rank failure (ULFM-style)
+    # ------------------------------------------------------------------
+    def kill(self, rank: int) -> None:
+        """Crash a rank's endpoint.
+
+        Every subsequent operation touching it — sends to it, receives
+        or retransmission requests from it, collectives including it —
+        raises :class:`RankDeadError` until :meth:`repair` revives it.
+        """
+        self._check_rank(rank, "crashed rank")
+        self._dead.add(int(rank))
+
+    def is_dead(self, rank: int) -> bool:
+        return rank in self._dead
+
+    def dead_ranks(self) -> tuple[int, ...]:
+        return tuple(sorted(self._dead))
+
+    def agree_dead(self) -> tuple[int, ...]:
+        """Collective agreement on the dead set.
+
+        The ``MPIX_Comm_agree`` analogue: in the lockstep simulation
+        every survivor observes the same communicator state, so the
+        agreed set is simply the sorted dead set.
+        """
+        return self.dead_ranks()
+
+    def repair(self, revive=()) -> int:
+        """ULFM-style communicator repair.
+
+        Discards all in-flight traffic (the revoke), forgets send logs
+        and per-envelope sequence numbering (the repaired communicator
+        starts fresh — channel objects must reset their expectations to
+        match), and revives the given endpoints (the respawn analogue:
+        same decomposition slot, blank memory).  Returns the number of
+        purged messages.
+        """
+        purged = self.reset_in_flight()
+        self._send_log.clear()
+        self._send_seq.clear()
+        for rank in revive:
+            self._dead.discard(int(rank))
+        self.repairs += 1
+        return purged
+
+    def _check_alive(self, dst: int, src: int, op: str) -> None:
+        if src in self._dead:
+            raise RankDeadError(src, op=f"{op} from rank {src}")
+        if dst in self._dead:
+            raise RankDeadError(dst, op=f"{op} to rank {dst}")
 
     # ------------------------------------------------------------------
     # point to point
@@ -145,6 +221,7 @@ class SimComm:
         """
         self._check_rank(src, "source rank")
         self._check_rank(dst, "destination rank")
+        self._check_alive(dst, src, "isend")
         key = (dst, src, tag)
         seq = self._send_seq[key]
         with self.tracer.child(src).span(
@@ -201,6 +278,7 @@ class SimComm:
             pass
 
     def _match(self, dst: int, src: int, tag: int, level: int = -1) -> _Message:
+        self._check_alive(dst, src, "receive")
         box = self._mailboxes.get((dst, src, tag))
         if not box:
             raise UnmatchedReceiveError(
@@ -219,8 +297,10 @@ class SimComm:
         The resilient receive path in
         :class:`~repro.comm.exchange.HaloExchange` uses this instead of
         :meth:`irecv`'s raising wait so a missing message becomes a
-        detected fault rather than an exception.
+        detected fault rather than an exception.  A dead peer still
+        raises: no amount of retrying revives a crashed endpoint.
         """
+        self._check_alive(dst, src, "receive")
         box = self._mailboxes.get((dst, src, tag))
         if not box:
             return None
@@ -255,6 +335,7 @@ class SimComm:
         :class:`UnmatchedReceiveError` when nothing was ever sent on the
         envelope, which is a protocol bug rather than a fault.
         """
+        self._check_alive(dst, src, "retransmit")
         key = (dst, src, tag)
         logged = self._send_log.get(key)
         if logged is None:
@@ -311,8 +392,15 @@ class SimComm:
 
         NaN-propagating (``np.max``): a poisoned local residual must
         surface globally for the solver's health checks, exactly as an
-        ``MPI_MAX`` over a NaN does on real systems.
+        ``MPI_MAX`` over a NaN does on real systems.  Raises
+        :class:`RankDeadError` when any rank is dead — the collective is
+        the guaranteed detection point for a crash, like ULFM's
+        ``MPI_ERR_PROC_FAILED`` from a collective.
         """
+        if self._dead:
+            raise RankDeadError(
+                min(self._dead), op="allreduce over a communicator with dead ranks"
+            )
         if len(values) != self.size:
             raise ValueError(
                 f"allreduce needs one value per rank: got {len(values)}, "
@@ -322,6 +410,10 @@ class SimComm:
 
     def allreduce_sum(self, values: list[float]) -> float:
         """SUM all-reduce over one contribution per rank."""
+        if self._dead:
+            raise RankDeadError(
+                min(self._dead), op="allreduce over a communicator with dead ranks"
+            )
         if len(values) != self.size:
             raise ValueError(
                 f"allreduce needs one value per rank: got {len(values)}, "
@@ -466,8 +558,25 @@ class SubComm:
             tag + self.tag_offset, below_seq,
         )
 
+    # -- rank-failure view ----------------------------------------------
+    def is_dead(self, local: int) -> bool:
+        """Is communicator-local rank ``local`` dead in the parent?"""
+        return self.parent.is_dead(self.global_rank(local))
+
+    def dead_ranks(self) -> tuple[int, ...]:
+        """Global ids of this view's members that are dead."""
+        return tuple(r for r in self.global_ranks if self.parent.is_dead(r))
+
     # -- collectives over the active ranks ------------------------------
+    def _check_members_alive(self) -> None:
+        dead = self.dead_ranks()
+        if dead:
+            raise RankDeadError(
+                dead[0], op="allreduce over a SubComm with dead ranks"
+            )
+
     def allreduce_max(self, values) -> float:
+        self._check_members_alive()
         if len(values) != self.size:
             raise ValueError(
                 f"allreduce needs one value per active rank: got "
@@ -476,6 +585,7 @@ class SubComm:
         return float(np.max(values))
 
     def allreduce_sum(self, values) -> float:
+        self._check_members_alive()
         if len(values) != self.size:
             raise ValueError(
                 f"allreduce needs one value per active rank: got "

@@ -98,6 +98,29 @@ class CartTopology:
         """Whether ranks ``a`` and ``b`` share a node."""
         return self.node_of(a) == self.node_of(b)
 
+    def buddy_rank(self, rank: int) -> int:
+        """Checkpoint partner for ``rank``: the nearest off-node rank.
+
+        Buddy checkpointing replicates a rank's state on a partner so a
+        crash can be repaired from the replica; a partner on the same
+        node would share the failure domain (a node loss takes both
+        copies), so the scan prefers the first rank on a different
+        node, falling back to the next rank on-node only when the whole
+        communicator is one node.  The mapping is a pure function of
+        the topology, so every rank derives the same pairing without
+        communication.
+        """
+        if self.size == 1:
+            raise ValueError(
+                "buddy checkpointing needs at least 2 ranks — a single "
+                "rank has no partner to hold its replica"
+            )
+        for step in range(1, self.size):
+            cand = (rank + step) % self.size
+            if not self.is_intra_node(rank, cand):
+                return cand
+        return (rank + 1) % self.size
+
     def remote_neighbor_fraction(self, rank: int) -> float:
         """Fraction of this rank's 26 neighbour links that leave the node.
 

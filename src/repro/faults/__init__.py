@@ -9,21 +9,34 @@ resilience claim testable:
   seeded, deterministic descriptions of *which* faults strike *where*
   (by V-cycle, level, rank, and neighbour direction);
 * :mod:`~repro.faults.injector` — :class:`FaultInjector`: applies a
-  plan at the comm layer (drop / bit-flip / duplicate / delay) and at
-  kernel outputs (NaN/Inf silent data corruption);
+  plan at the comm layer (drop / bit-flip / duplicate / delay), at
+  kernel outputs (NaN/Inf silent data corruption), and at the process
+  level (``rank_crash`` killing a communicator endpoint);
 * :mod:`~repro.faults.recovery` — :class:`ResilienceConfig` and
   :class:`ResilientDriver`: checksummed receives with bounded retry,
   residual-loop health checks, checkpoint/rollback of the finest-level
-  solution, and graceful degradation to a ``failed_faults`` status;
+  solution, ULFM-style communicator repair with buddy restore for rank
+  crashes, and graceful degradation to a ``failed_faults`` status;
+* :mod:`~repro.faults.buddy` — :class:`BuddyCheckpointer`: replicates
+  each rank's checkpoints onto an off-node partner so a crashed rank's
+  state survives it;
 * :mod:`~repro.faults.pricing` — prices retries, checkpoints, and
   rollbacks through the machine/network models so resilience overhead
   appears in the same units as the paper's figures;
 * :mod:`~repro.faults.sweep` — the ``python -m repro faultsweep``
-  scenario table demonstrating detection and recovery end to end.
+  scenario table demonstrating detection and recovery end to end;
+* :mod:`~repro.faults.chaos` — the ``python -m repro chaossweep``
+  rank-crash matrix with recovery-SLO ledger output.
 """
 
+from repro.faults.buddy import BuddyCheckpointer
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultPlan, FaultSpec, MESSAGE_FAULT_KINDS
+from repro.faults.plan import (
+    FaultPlan,
+    FaultSpec,
+    MESSAGE_FAULT_KINDS,
+    RANK_FAULT_KINDS,
+)
 from repro.faults.recovery import (
     STATUS_CONVERGED,
     STATUS_DIVERGED,
@@ -37,7 +50,9 @@ __all__ = [
     "FaultSpec",
     "FaultPlan",
     "FaultInjector",
+    "BuddyCheckpointer",
     "MESSAGE_FAULT_KINDS",
+    "RANK_FAULT_KINDS",
     "ResilienceConfig",
     "ResilientDriver",
     "STATUS_CONVERGED",

@@ -7,7 +7,11 @@ The injector is consulted at two hook points:
   (including retransmissions, so persistent specs can defeat retries);
 * :meth:`FaultInjector.kernel_sdc` — by
   :class:`~repro.gmg.vcycle.VCycle` after every smoothing visit, to
-  poison one interior cell of the just-written solution field.
+  poison one interior cell of the just-written solution field;
+* :meth:`FaultInjector.crashes_due` — by the resilient driver at
+  V-cycle start and by the exchange/transfer channels on entry, to
+  fire ``rank_crash`` specs (killing the victim's ``SimComm``
+  endpoint).
 
 The injector owns the *when are we* context (the current V-cycle index,
 advanced by the resilient driver) and a hit counter per spec; all
@@ -110,6 +114,33 @@ class FaultInjector:
                 )
             return action
         return None
+
+    def crashes_due(self, level: int | None = None) -> list[int]:
+        """Ranks whose ``rank_crash`` specs fire at this poll site.
+
+        Called with ``level=None`` by the resilient driver at V-cycle
+        start and with a concrete level by the exchange/transfer
+        channels on entry to their collective; each spec matches exactly
+        one kind of site (see :meth:`FaultSpec.matches_crash`).
+        Consumes the matching specs' hit budgets and records one
+        ``inject_rank_crash`` event per victim.
+        """
+        victims: list[int] = []
+        for idx, spec in enumerate(self.plan):
+            if not self._armed(idx):
+                continue
+            if not spec.matches_crash(self.vcycle, level):
+                continue
+            self._consume(idx)
+            victims.append(spec.rank)
+            if self.recorder is not None:
+                self.recorder.fault(
+                    "inject_rank_crash",
+                    vcycle=self.vcycle,
+                    level=-1 if level is None else level,
+                    rank=spec.rank,
+                )
+        return victims
 
     def kernel_sdc(self, level: int, rank: int, field) -> bool:
         """Poison one interior cell of ``field`` if an sdc spec matches.

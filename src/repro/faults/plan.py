@@ -24,7 +24,9 @@ import numpy as np
 MESSAGE_FAULT_KINDS = ("drop", "corrupt", "duplicate", "delay")
 #: Kernel-output fault kinds (applied to the smoother's result field).
 KERNEL_FAULT_KINDS = ("sdc",)
-ALL_FAULT_KINDS = MESSAGE_FAULT_KINDS + KERNEL_FAULT_KINDS
+#: Process-level fault kinds (kill a rank's SimComm endpoint outright).
+RANK_FAULT_KINDS = ("rank_crash",)
+ALL_FAULT_KINDS = MESSAGE_FAULT_KINDS + KERNEL_FAULT_KINDS + RANK_FAULT_KINDS
 
 
 @dataclass(frozen=True)
@@ -35,12 +37,17 @@ class FaultSpec:
     ----------
     kind:
         ``drop`` / ``corrupt`` / ``duplicate`` / ``delay`` for message
-        faults, ``sdc`` for NaN/Inf corruption of a kernel output.
+        faults, ``sdc`` for NaN/Inf corruption of a kernel output,
+        ``rank_crash`` to kill a rank's communicator endpoint.
     vcycle, level, rank, src, direction:
         Site predicates; ``None`` matches anything.  ``rank`` is the
-        receiving rank for message faults and the owning rank for
-        ``sdc``; ``src`` is the sending rank; ``direction`` is the
-        sender's neighbour direction (a 3-tuple of -1/0/1).
+        receiving rank for message faults, the owning rank for ``sdc``,
+        and the crashing rank for ``rank_crash`` (required there);
+        ``src`` is the sending rank; ``direction`` is the sender's
+        neighbour direction (a 3-tuple of -1/0/1).  A ``rank_crash``
+        with ``level=None`` fires at the start of the matching V-cycle;
+        with a level pinned it fires at the first *communicating* touch
+        of that level (halo exchange or agglomeration transfer).
     max_hits:
         How many times this spec fires before it is exhausted.
         ``None`` means unlimited — a *persistent* fault that defeats
@@ -70,6 +77,23 @@ class FaultSpec:
             )
         if self.max_hits is not None and self.max_hits < 1:
             raise ValueError(f"max_hits must be positive or None: {self.max_hits}")
+        for name in ("vcycle", "vcycle_from", "level", "rank", "src"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(
+                    f"{name} must be non-negative (the spec could never "
+                    f"fire): {name}={value}"
+                )
+        if self.kind in RANK_FAULT_KINDS:
+            if self.rank is None:
+                raise ValueError(
+                    "rank_crash specs must name the crashing rank"
+                )
+            if self.src is not None or self.direction is not None:
+                raise ValueError(
+                    "rank_crash kills a whole endpoint; src/direction "
+                    "predicates do not apply"
+                )
         if self.direction is not None:
             d = tuple(int(c) for c in self.direction)
             if len(d) != 3 or any(c not in (-1, 0, 1) for c in d) or d == (0, 0, 0):
@@ -118,6 +142,21 @@ class FaultSpec:
             and (self.rank is None or self.rank == rank)
         )
 
+    def matches_crash(self, vcycle: int, level: int | None) -> bool:
+        """Does this crash spec fire at the given poll site?
+
+        The driver polls with ``level=None`` at V-cycle start (matching
+        level-free specs only); the exchange/transfer channels poll with
+        their level (matching only specs pinned to it), so each spec
+        fires at exactly one kind of site.
+        """
+        return (
+            self.kind in RANK_FAULT_KINDS
+            and (self.vcycle is None or self.vcycle == vcycle)
+            and (self.vcycle_from is None or vcycle >= self.vcycle_from)
+            and self.level == level
+        )
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -150,6 +189,43 @@ class FaultPlan:
 
     def with_specs(self, extra: Iterable[FaultSpec]) -> "FaultPlan":
         return replace(self, specs=self.specs + tuple(extra))
+
+    def validate_for(
+        self, num_ranks: int, num_levels: int | None = None
+    ) -> "FaultPlan":
+        """Reject specs that could never fire on the given solver shape.
+
+        A spec naming a rank or level outside the communicator/hierarchy
+        would silently sit in the plan forever; failing loudly at
+        construction time is the only way a typo in a chaos matrix gets
+        noticed.  Returns ``self`` so callers can chain.
+        """
+        for i, spec in enumerate(self.specs):
+            for attr in ("rank", "src"):
+                value = getattr(spec, attr)
+                if value is not None and value >= num_ranks:
+                    raise ValueError(
+                        f"spec {i} ({spec.kind}): {attr}={value} out of "
+                        f"range for a {num_ranks}-rank communicator — "
+                        "the spec could never fire"
+                    )
+            if (
+                num_levels is not None
+                and spec.level is not None
+                and spec.level >= num_levels
+            ):
+                raise ValueError(
+                    f"spec {i} ({spec.kind}): level={spec.level} out of "
+                    f"range for a {num_levels}-level hierarchy — the "
+                    "spec could never fire"
+                )
+            if spec.kind in RANK_FAULT_KINDS and num_ranks < 2:
+                raise ValueError(
+                    f"spec {i}: rank_crash needs a distributed solve "
+                    "(>= 2 ranks) — a single-rank crash leaves no "
+                    "survivors to run the recovery"
+                )
+        return self
 
     @classmethod
     def single(cls, kind: str, **kwargs) -> "FaultPlan":

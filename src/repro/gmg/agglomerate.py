@@ -241,13 +241,25 @@ class AgglomerationTransfer(ResilientChannel):
         Every source rank sends one dense ``(2, *cells)`` block (the
         zero initial guess stacked with its restricted right-hand
         side); each owner places the blocks at their cell offsets.
+
+        Level-pinned ``rank_crash`` specs fire on entry; transfers
+        touching a dead rank are skipped so the collective completes
+        for the survivors with no hung waitall and no partially staged
+        state left in flight — the crash surfaces as
+        :class:`RankDeadError` at the next residual reduction and the
+        recovery ladder restores or rolls back the whole cycle.
         """
         level = self.level_index
         with self.tracer.span(
             "agglomerate-gather", l=level,
             sources=len(self.staging_levels), owners=len(self.merged_levels),
         ):
+            self.poll_crashes(level)
             for s, st in enumerate(self.staging_levels):
+                if self._is_dead(self.source_ranks[s]) or self._is_dead(
+                    self.owner_ranks[self.owner_of[s]]
+                ):
+                    continue  # dead endpoint on either side: nothing moves
                 st.init_zero()  # the staged x is the zero initial guess
                 payload = np.stack([st.x.to_ijk(), st.b.to_ijk()])
                 self._post(
@@ -257,12 +269,18 @@ class AgglomerationTransfer(ResilientChannel):
                 )
             for o, merged in enumerate(self.merged_levels):
                 dst = self.owner_ranks[o]
+                if self._is_dead(dst):
+                    continue  # a dead owner assembles nothing
                 dense = np.empty(
                     (2,) + tuple(merged.shape_cells), dtype=merged.dtype
                 )
+                partial = False
                 for s, offset in self.assignments[o]:
                     st = self.staging_levels[s]
                     src = self.source_ranks[s]
+                    if self._is_dead(src):
+                        partial = True
+                        continue  # source died before staging its block
                     expected = (2,) + tuple(st.shape_cells)
                     payload = self._receive_payload(
                         level, dst, src, self.gather_tag, expected,
@@ -282,6 +300,8 @@ class AgglomerationTransfer(ResilientChannel):
                             for off, c in zip(offset, st.shape_cells)
                         )
                         dense[(slice(None),) + block] = payload
+                if partial:
+                    continue  # never commit a partially assembled block
                 merged.x.set_interior(dense[0])
                 merged.b.set_interior(dense[1])
 
@@ -292,11 +312,16 @@ class AgglomerationTransfer(ResilientChannel):
             "agglomerate-scatter", l=level,
             sources=len(self.staging_levels), owners=len(self.merged_levels),
         ):
+            self.poll_crashes(level)
             for o, merged in enumerate(self.merged_levels):
                 src = self.owner_ranks[o]
+                if self._is_dead(src):
+                    continue  # a dead owner returns nothing
                 dense_x = merged.x.to_ijk()
                 for s, offset in self.assignments[o]:
                     st = self.staging_levels[s]
+                    if self._is_dead(self.source_ranks[s]):
+                        continue  # no endpoint to deliver to
                     block = tuple(
                         slice(off, off + c)
                         for off, c in zip(offset, st.shape_cells)
@@ -308,6 +333,8 @@ class AgglomerationTransfer(ResilientChannel):
             for s, st in enumerate(self.staging_levels):
                 dst = self.source_ranks[s]
                 src = self.owner_ranks[self.owner_of[s]]
+                if self._is_dead(dst) or self._is_dead(src):
+                    continue  # staged block keeps its pre-crash correction
                 payload = self._receive_payload(
                     level, dst, src, self.scatter_tag,
                     tuple(st.shape_cells), direction=None,

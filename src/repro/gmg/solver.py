@@ -181,6 +181,14 @@ class SolveResult:
     status: str = ""
     executed_vcycles: int = -1
     rollbacks: int = 0
+    #: ranks that crashed and were repaired back into the solve
+    recovered_ranks: list[int] = field(default_factory=list)
+    #: total wall time spent in rank repair (seconds)
+    mttr_s: float = 0.0
+    #: bytes of crashed-rank state adopted from buddy replicas
+    bytes_restored: int = 0
+    #: committed V-cycles discarded by crash recoveries
+    cycles_lost: int = 0
 
     def __post_init__(self) -> None:
         if not self.status:
@@ -270,7 +278,13 @@ class GMGSolver:
         if fault_plan is not None and not fault_plan.empty:
             from repro.faults.injector import FaultInjector
 
+            # A spec naming a rank/level outside this solve would sit in
+            # the plan silently forever — fail at construction instead.
+            fault_plan.validate_for(config.num_ranks, config.num_levels)
             self.injector = FaultInjector(fault_plan, self.recorder)
+        self._max_retries = (
+            resilience.max_retries if resilience is not None else 3
+        )
         self.boundary = BoundaryCondition(config.boundary)
         self.topology = CartTopology(
             config.rank_dims,
@@ -302,32 +316,26 @@ class GMGSolver:
                 )
             self.rank_levels.append(levels)
 
-        self.exchangers = []
-        for lev in range(config.num_levels):
-            grid = self.rank_levels[0][lev].grid
-            if self.comm is None:
-                self.exchangers.append(
-                    LocalPeriodicExchange(
-                        grid, self.recorder, self.boundary, tracer=self.tracer
-                    )
-                )
-            else:
-                self.exchangers.append(
-                    HaloExchange(
-                        grid,
-                        self.topology,
-                        self.comm,
-                        self.recorder,
-                        self.boundary,
-                        injector=self.injector,
-                        max_retries=(
-                            self.resilience.max_retries
-                            if self.resilience is not None
-                            else 3
-                        ),
-                        tracer=self.tracer,
-                    )
-                )
+        self.exchangers = [
+            self._build_exchanger(lev) for lev in range(config.num_levels)
+        ]
+
+        self.buddy = None
+        if (
+            self.comm is not None
+            and self.resilience is not None
+            and self.resilience.buddy_checkpoints
+        ):
+            from repro.faults.buddy import BuddyCheckpointer
+
+            self.buddy = BuddyCheckpointer(
+                self.comm,
+                self.topology,
+                recorder=self.recorder,
+                injector=self.injector,
+                max_retries=self._max_retries,
+                tracer=self.tracer,
+            )
 
         self._init_rhs()
         from repro.gmg.bottom import make_bottom_solver
@@ -347,11 +355,7 @@ class GMGSolver:
                 recorder=self.recorder,
                 boundary=self.boundary,
                 injector=self.injector,
-                max_retries=(
-                    self.resilience.max_retries
-                    if self.resilience is not None
-                    else 3
-                ),
+                max_retries=self._max_retries,
                 tracer=self.tracer,
             )
             # a threshold too small to merge anything leaves the seed
@@ -414,6 +418,24 @@ class GMGSolver:
             agglomerator=self.agglomerator,
         )
 
+    def _build_exchanger(self, lev: int):
+        """A fresh full-grid exchanger for level ``lev``."""
+        grid = self.rank_levels[0][lev].grid
+        if self.comm is None:
+            return LocalPeriodicExchange(
+                grid, self.recorder, self.boundary, tracer=self.tracer
+            )
+        return HaloExchange(
+            grid,
+            self.topology,
+            self.comm,
+            self.recorder,
+            self.boundary,
+            injector=self.injector,
+            max_retries=self._max_retries,
+            tracer=self.tracer,
+        )
+
     def _init_rhs(self) -> None:
         from repro.gmg.problem import rhs_field_dirichlet
 
@@ -423,6 +445,52 @@ class GMGSolver:
         for rank, levels in enumerate(self.rank_levels):
             origin = self.topology.subdomain_origin(rank, per_rank)
             levels[0].b.set_interior(rhs(per_rank, h, origin))
+
+    # ------------------------------------------------------------------
+    # rank-crash recovery hooks (called by the ResilientDriver)
+    # ------------------------------------------------------------------
+    def rebuild_channels(self) -> None:
+        """Rebuild the exchange machinery after a communicator repair.
+
+        Repair clears the communicator's send logs and sequence
+        counters; the full-grid exchangers are rebuilt from scratch
+        (the distributed analogue of re-deriving every ``MPI_Datatype``
+        on the repaired communicator), agglomerated channels and the
+        buddy checkpointer forget their envelope state in place, and
+        the shared :class:`~repro.bricks.halo_plan.OffsetGatherPlan`
+        cache is dropped so gather plans re-derive from geometry.
+        Every rebuilt piece is a pure function of the unchanged
+        decomposition, so the replayed schedule stays bit-identical.
+        """
+        from repro.bricks.halo_plan import clear_offset_plan_cache
+
+        self.exchangers = [
+            self._build_exchanger(lev)
+            for lev in range(self.config.num_levels)
+        ]
+        self.vcycle.exchangers = self.exchangers
+        if self.agglomerator is not None:
+            for channel in self.agglomerator.channels():
+                channel.reset_envelopes()
+        if self.buddy is not None:
+            self.buddy.reset_envelopes()
+        clear_offset_plan_cache()
+
+    def _restart_state(self) -> None:
+        """Deterministically re-initialise the solve for a global restart.
+
+        The model problem's right-hand side is analytic, so a restart
+        needs no checkpoint: zero every finest-level field and rebuild
+        ``b`` exactly as the constructor did.  Coarse levels are
+        scratch re-derived every cycle and need no reset.
+        """
+        for levels in self.rank_levels:
+            level = levels[0]
+            level.x.data[...] = 0.0
+            level.b.data[...] = 0.0
+            level.r.data[...] = 0.0
+            level.Ax.data[...] = 0.0
+        self._init_rhs()
 
     # ------------------------------------------------------------------
     def solve(self) -> SolveResult:
@@ -466,6 +534,10 @@ class GMGSolver:
             injector=self.injector,
             recorder=self.recorder,
             comm=self.comm,
+            buddy=self.buddy,
+            rebuild_channels=self.rebuild_channels,
+            restart_state=self._restart_state,
+            tracer=self.tracer,
         )
         outcome = driver.solve(self.config.tol, self.config.max_vcycles)
         if self.comm is not None:
@@ -480,6 +552,8 @@ class GMGSolver:
                 if self.agglomerator is not None:
                     for channel in self.agglomerator.channels():
                         channel.drain_stale()
+                if self.buddy is not None:
+                    self.buddy.drain_stale()
                 self.comm.assert_drained()
         return SolveResult(
             converged=outcome.converged,
@@ -489,6 +563,10 @@ class GMGSolver:
             status=outcome.status,
             executed_vcycles=outcome.executed_vcycles,
             rollbacks=outcome.rollbacks,
+            recovered_ranks=list(outcome.recovered_ranks),
+            mttr_s=outcome.mttr_s,
+            bytes_restored=outcome.bytes_restored,
+            cycles_lost=outcome.cycles_lost,
         )
 
     def solution(self) -> np.ndarray:

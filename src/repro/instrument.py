@@ -46,6 +46,7 @@ FAULT_KINDS = (
     "inject_duplicate",
     "inject_delay",
     "inject_sdc",
+    "inject_rank_crash",
     "detect_drop",
     "detect_corrupt",
     "detect_duplicate",
@@ -53,9 +54,14 @@ FAULT_KINDS = (
     "detect_sdc",
     "detect_divergence",
     "detect_stagnation",
+    "detect_rank_crash",
     "retry",
     "retransmit",
     "checkpoint",
+    "buddy_checkpoint",
+    "buddy_restore",
+    "comm_repair",
+    "global_restart",
     "rollback",
     "purge",
     "give_up",

@@ -79,6 +79,19 @@ class MetricsRegistry:
         self.counter("faults.injected", recorder.injected_faults)
         self.counter("faults.detected", recorder.detected_faults)
 
+    def observe_recovery(self, result) -> None:
+        """Record a solve's rank-crash recovery SLO metrics.
+
+        ``result`` is a :class:`~repro.gmg.solver.SolveResult`; gauges
+        cover mean-time-to-repair, bytes adopted from buddy replicas,
+        committed cycles discarded, and how many ranks came back — the
+        numbers the chaos ledger gates on.
+        """
+        self.gauge("recovery.mttr_ms", result.mttr_s * 1e3)
+        self.gauge("recovery.bytes_restored", result.bytes_restored)
+        self.gauge("recovery.cycles_lost", result.cycles_lost)
+        self.gauge("recovery.recovered_ranks", len(result.recovered_ranks))
+
     def observe_agglomeration(self, agglomerator) -> None:
         """Record the active-rank shape of an agglomerated solve.
 
@@ -127,13 +140,15 @@ class MetricsRegistry:
 
 
 def solve_metrics(
-    recorder: Recorder, tracer=None, agglomerator=None
+    recorder: Recorder, tracer=None, agglomerator=None, result=None
 ) -> MetricsRegistry:
     """Registry for one finished solve.
 
     Bridges the recorder and, when a recording tracer is supplied, adds
     trace-derived gauges (span counts and total traced wall-clock); an
-    agglomerated solve additionally reports its active-rank shape.
+    agglomerated solve additionally reports its active-rank shape, and
+    a :class:`~repro.gmg.solver.SolveResult` adds the rank-crash
+    recovery gauges.
     """
     registry = MetricsRegistry()
     registry.observe_recorder(recorder)
@@ -143,4 +158,6 @@ def solve_metrics(
         registry.gauge("trace.wallclock_s", tracer.total_time())
     if agglomerator is not None:
         registry.observe_agglomeration(agglomerator)
+    if result is not None:
+        registry.observe_recovery(result)
     return registry

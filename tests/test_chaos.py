@@ -1,0 +1,182 @@
+"""The chaos harness: seeded crash matrix, recovery SLOs, ledger rows.
+
+Acceptance contract (ISSUE 6): the crash matrix is seed-deterministic,
+every cell recovers to the reference tolerance (bit-identically, since
+recovery replays from a coordinated checkpoint or a deterministic
+restart), the storm cell degrades and fails the gate — the inverted
+self-test — and the sweep folds into the same schema-versioned JSONL
+ledger as perf runs.
+"""
+
+import pytest
+
+from repro.faults.chaos import (
+    CHAOS_BENCHMARK,
+    chaos_ledger_entry,
+    chaos_passed,
+    chaos_scenarios,
+    chaos_sweep,
+    render_chaos_sweep,
+    storm_scenario,
+)
+from repro.faults.sweep import SweepRow, sweep_ledger_entry
+from repro.obs.ledger import PerfLedger
+
+# the matrix is exercised on 2 ranks with a single cell per axis so the
+# suite stays fast; the CI chaos-smoke job runs the full 8-rank matrix
+SMALL = dict(
+    rank_dims=(2, 1, 1),
+    crash_cycles=(2,),
+    crash_counts=(1,),
+    checkpoint_intervals=(2,),
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return chaos_sweep(seed=2024, **SMALL)
+
+
+class TestScenarioMatrix:
+    def test_victims_are_seed_deterministic(self):
+        a = chaos_scenarios(7, num_ranks=8)
+        b = chaos_scenarios(7, num_ranks=8)
+        assert a == b
+        c = chaos_scenarios(8, num_ranks=8)
+        assert [s.plan for s in a] != [s.plan for s in c]
+
+    def test_matrix_covers_every_cell(self):
+        scs = chaos_scenarios(
+            7, num_ranks=8, crash_cycles=(1, 3), crash_counts=(1, 2),
+            checkpoint_intervals=(1, 2),
+        )
+        assert len(scs) == 8
+        assert len({s.name for s in scs}) == 8
+
+    def test_crash_count_leaves_a_survivor(self):
+        scs = chaos_scenarios(
+            7, num_ranks=2, crash_cycles=(1,), crash_counts=(5,),
+            checkpoint_intervals=(1,),
+        )
+        assert all(len(s.plan.specs) == 1 for s in scs)
+
+    def test_single_rank_matrix_rejected(self):
+        with pytest.raises(ValueError, match="distributed"):
+            chaos_scenarios(7, num_ranks=1)
+
+    def test_storm_scenario_is_persistent(self):
+        sc = storm_scenario(rank=3)
+        assert sc.expect_status == "failed_faults"
+        (spec,) = sc.plan.specs
+        assert spec.max_hits is None
+        assert spec.rank == 3
+
+
+class TestSweepOutcomes:
+    def test_every_cell_recovers_to_reference_tolerance(self, rows):
+        for r in rows:
+            assert r.status == "converged", r.scenario
+            assert r.tolerance_met, r.scenario
+            assert r.bit_identical, r.scenario
+            assert r.crashes >= 1
+            assert r.recovered_ranks, r.scenario
+            assert r.mttr_ms > 0
+
+    def test_sweep_is_deterministic(self, rows):
+        import dataclasses
+
+        # everything but the wall-clock MTTR is a pure function of the seed
+        def stripped(rs):
+            return [dataclasses.replace(r, mttr_ms=0.0) for r in rs]
+
+        assert stripped(chaos_sweep(seed=2024, **SMALL)) == stripped(rows)
+
+    def test_gate_passes_on_clean_matrix(self, rows):
+        assert chaos_passed(rows)
+
+    def test_gate_fails_on_unrecovered_cell(self, rows):
+        import dataclasses
+
+        broken = [dataclasses.replace(rows[0], bit_identical=False)]
+        broken += rows[1:]
+        assert not chaos_passed(broken)
+
+    def test_storm_run_fails_the_gate(self):
+        """The inverted self-test: a sweep containing an unrecoverable
+        crash must report failure even when the matrix cells recover."""
+        rows = chaos_sweep(seed=2024, storm=True, **SMALL)
+        storm = next(r for r in rows if r.scenario == "crash-storm")
+        assert storm.status == "failed_faults"
+        assert storm.rollbacks > 0
+        assert not chaos_passed(rows, storm=True)
+
+    def test_render_mentions_every_cell(self, rows):
+        text = render_chaos_sweep(rows)
+        for r in rows:
+            assert r.scenario in text
+        assert "mttr" in text
+
+
+class TestChaosLedger:
+    def test_entry_has_slo_metrics_per_cell(self, rows):
+        entry = chaos_ledger_entry(rows, seed=2024, rank_dims=(2, 1, 1))
+        assert entry.benchmark == CHAOS_BENCHMARK
+        assert entry.source == "chaossweep"
+        for r in rows:
+            assert entry.metrics[f"{r.scenario}.mttr_ms"] == r.mttr_ms
+            assert entry.metrics[f"{r.scenario}.cycles_lost"] == float(
+                r.cycles_lost
+            )
+        assert entry.metrics["unrecovered_cells"] == 0.0
+
+    def test_storm_cell_excluded_from_slo_metrics(self):
+        rows = chaos_sweep(seed=2024, storm=True, **SMALL)
+        entry = chaos_ledger_entry(rows, seed=2024, rank_dims=(2, 1, 1))
+        assert "crash-storm.mttr_ms" not in entry.metrics
+        # ...but the per-cell context still records its degradation
+        statuses = {c["scenario"]: c["status"] for c in entry.context["cells"]}
+        assert statuses["crash-storm"] == "failed_faults"
+
+    def test_entry_round_trips_through_the_ledger(self, rows, tmp_path):
+        entry = chaos_ledger_entry(rows, seed=2024, rank_dims=(2, 1, 1))
+        ledger = PerfLedger(tmp_path)
+        ledger.record(entry)
+        (loaded,) = ledger.entries(CHAOS_BENCHMARK)
+        assert loaded.metrics == entry.metrics
+        assert loaded.context["seed"] == 2024
+        assert loaded.schema == entry.schema
+
+
+class TestFaultSweepLedger:
+    """Satellite: ``repro faultsweep`` folds into the same ledger dir."""
+
+    def make_row(self, name, status="converged", identical=True):
+        return SweepRow(
+            scenario=name, status=status, injected=1, detected=1,
+            retries=1, rollbacks=0, clean_vcycles=11, executed_vcycles=11,
+            final_residual=1e-11, bit_identical=identical, overhead_ms=0.5,
+        )
+
+    def test_entry_shape_matches_perf_records(self, tmp_path):
+        rows = [self.make_row("drop-message"), self.make_row("sdc-nan")]
+        entry = sweep_ledger_entry(
+            rows, seed=7, rank_dims=(2, 1, 1), machine_name="Perlmutter"
+        )
+        assert entry.benchmark == "fault_sweep"
+        assert entry.metrics["drop-message.overhead_ms"] == 0.5
+        assert entry.metrics["sdc-nan.extra_vcycles"] == 0.0
+        assert entry.metrics["unexpected_outcomes"] == 0.0
+        PerfLedger(tmp_path).record(entry)
+        (loaded,) = PerfLedger(tmp_path).entries("fault_sweep")
+        assert loaded.source == "faultsweep"
+        assert loaded.context["machine"] == "Perlmutter"
+
+    def test_unexpected_outcomes_counted(self):
+        rows = [
+            self.make_row("ok"),
+            self.make_row("stuck", status="max_vcycles", identical=False),
+            self.make_row("degraded", status="failed_faults", identical=False),
+        ]
+        entry = sweep_ledger_entry(rows, seed=7, rank_dims=(2, 1, 1))
+        # failed_faults is graceful degradation, not an unexpected outcome
+        assert entry.metrics["unexpected_outcomes"] == 1.0

@@ -188,6 +188,37 @@ class TestAutotuneCommand:
         assert (tmp_path / "fig8.json").exists()
 
 
+class TestChaosSweepCommand:
+    SMALL = ["--ranks", "2,1,1", "--crash-cycles", "2",
+             "--crash-counts", "1", "--checkpoint-intervals", "2"]
+
+    def test_clean_matrix_passes_and_records(self, capsys, tmp_path):
+        rc = main(["chaossweep", "--seed", "7", *self.SMALL,
+                   "--update", "--ledger", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Chaos sweep" in out
+        assert "recovered 1/1 matrix cells" in out
+        assert (tmp_path / "chaos_sweep.jsonl").exists()
+
+    def test_storm_flag_fails_the_gate(self, capsys):
+        """The inverted self-test CI leans on: an unrecoverable crash
+        must produce a nonzero exit."""
+        rc = main(["chaossweep", "--seed", "7", *self.SMALL, "--storm"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "degraded to failed_faults as designed" in out
+        assert "gate fails by design" in out
+
+    def test_faultsweep_update_records_ledger_entry(self, capsys, tmp_path):
+        rc = main(["faultsweep", "--machine", "none",
+                   "--update", "--ledger", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "fault_sweep.jsonl").exists()
+        out = capsys.readouterr().out
+        assert "recorded sweep" in out
+
+
 class TestValidateCommand:
     def test_all_checks_pass(self, capsys):
         assert main(["validate"]) == 0
