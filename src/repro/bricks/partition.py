@@ -1,0 +1,144 @@
+"""Interior/shell brick partition for split-phase (overlap) kernels.
+
+Communication–computation overlap splits every halo-dependent kernel
+into two passes: an *interior* pass over bricks whose stencil footprint
+never reads a ghost brick (safe to evaluate while halo envelopes are in
+flight) and a *shell* pass over the remainder (must wait for
+``HaloExchange.finish()``).
+
+The partition is purely geometric.  A stored slot with offset
+coordinates ``c`` (see :attr:`BrickGrid.slot_to_grid`) is
+interior-deep iff ``g + 1 <= c[d] < g + n[d] - 1`` for every dimension
+``d`` — its full 26-neighbourhood then consists of *owned* bricks, so
+no gather of radius ``<= brick_dim`` (the DSL's legality bound) can
+touch a ghost slot.  Everything else is shell: the owned boundary layer
+*and* every ghost brick, because kernels evaluate redundantly over the
+ghost shell (the communication-avoiding validity scheme) and ghost
+values are rewritten by the exchange.
+
+``interior`` and ``shell`` are each emitted in ascending slot order;
+their concatenation covers ``range(num_slots)`` exactly once.  Within a
+pass the generated kernel evaluates the same expression tree per
+element as the full-grid kernel, and NumPy's elementwise ufuncs are
+exactly rounded per element regardless of how the slot axis is chunked,
+so splitting reorders no floating-point operation — overlap mode is
+bit-identical to the synchronous reference.
+
+Partitions (and the subset gather tables they cache) are keyed by
+``geometry_key`` like the offset-plan cache, with a weak per-grid
+fallback for duck-typed grids; :func:`clear_partition_cache` mirrors
+:func:`repro.bricks.halo_plan.clear_offset_plan_cache` so communicator
+repair can prove the rebuilt path re-derives everything from geometry.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+#: partitions keyed by grid geometry (value identity), shared across
+#: solver instances like the offset-plan cache
+_PARTITION_CACHE: dict[tuple, "BrickPartition"] = {}
+
+#: per-grid fallback for duck-typed grids without a geometry key
+_GRID_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+class BrickPartition:
+    """Interior/shell slot split of one grid, plus subset gather tables.
+
+    Works for both :class:`~repro.bricks.brick_grid.BrickGrid` and the
+    batched :class:`~repro.bricks.batch.BatchedGrid` — the latter's
+    ``slot_to_grid`` tiles the per-rank coordinates, so each rank block
+    is partitioned independently and identically.
+    """
+
+    def __init__(self, grid) -> None:
+        self.grid = grid
+        coords = np.asarray(grid.slot_to_grid)
+        g = int(grid.ghost_bricks)
+        n = np.asarray(grid.shape_bricks, dtype=np.int64)
+        lo = g + 1
+        hi = g + n - 1  # exclusive; empty when shape_bricks[d] < 3
+        deep = np.all((coords >= lo) & (coords < hi), axis=1)
+        #: (n_int,) ascending slots whose 26-neighbourhood is owned
+        self.interior = np.ascontiguousarray(np.flatnonzero(deep))
+        #: (n_shell,) ascending slots: owned boundary + all ghost bricks
+        self.shell = np.ascontiguousarray(np.flatnonzero(~deep))
+        self.num_slots = int(coords.shape[0])
+        #: subset gather tables, keyed by (kind, plan identity, pass)
+        self._subsets: dict[tuple, object] = {}
+
+    def select(self, which: str) -> np.ndarray:
+        """The slot subset of pass ``which`` (``interior``/``shell``)."""
+        if which == "interior":
+            return self.interior
+        if which == "shell":
+            return self.shell
+        raise ValueError(f"unknown pass {which!r}")
+
+    # ------------------------------------------------------------------
+    def offset_subset(self, plan, which: str) -> np.ndarray:
+        """Contiguous ``(K, n_sel, B^3)`` rows of ``plan.flat`` for one pass.
+
+        ``plan`` is an :class:`~repro.bricks.halo_plan.OffsetGatherPlan`
+        of this grid; the subset table feeds the same single-``np.take``
+        gather as the full plan, restricted to the pass's slots.
+        """
+        key = ("offset", plan.offsets, plan.halo_radius, which)
+        table = self._subsets.get(key)
+        if table is None:
+            sel = self.select(which)
+            table = np.ascontiguousarray(plan.flat[:, sel, :])
+            self._subsets[key] = table
+        return table
+
+    def halo_subset(self, plan, which: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(flat, nbr)`` rows of a :class:`HaloPlan` for one pass.
+
+        ``flat`` indexes packed C-contiguous storage (``np.take`` path);
+        ``nbr`` pairs with ``plan.cell_all`` for strided sources.
+        """
+        key = ("halo", plan.radius, which)
+        cached = self._subsets.get(key)
+        if cached is None:
+            sel = self.select(which)
+            cached = (
+                np.ascontiguousarray(plan._gather_flat[sel]),
+                np.ascontiguousarray(plan.nbr_all[sel]),
+            )
+            self._subsets[key] = cached
+        return cached
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BrickPartition(interior={self.interior.size}, "
+            f"shell={self.shell.size} of {self.num_slots} slots)"
+        )
+
+
+def partition_for(grid) -> BrickPartition:
+    """The (cached) :class:`BrickPartition` of ``grid``."""
+    geometry = getattr(grid, "geometry_key", None)
+    if geometry is not None:
+        part = _PARTITION_CACHE.get(geometry)
+        if part is None:
+            part = BrickPartition(grid)
+            _PARTITION_CACHE[geometry] = part
+        return part
+    part = _GRID_CACHE.get(grid)
+    if part is None:
+        part = BrickPartition(grid)
+        _GRID_CACHE[grid] = part
+    return part
+
+
+def clear_partition_cache() -> int:
+    """Drop every cached partition (see the module docstring).
+
+    Returns the number of partitions dropped.
+    """
+    n = len(_PARTITION_CACHE)
+    _PARTITION_CACHE.clear()
+    return n

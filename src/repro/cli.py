@@ -35,6 +35,7 @@ def _solver_config(args: argparse.Namespace):
         fuse_kernels=args.engine in ("fuse", "full"),
         batch_ranks=args.engine in ("batch", "full"),
         agglomerate_threshold=getattr(args, "agglomerate_threshold", None),
+        overlap=getattr(args, "overlap", False),
     )
 
 
@@ -144,7 +145,9 @@ def _cmd_commviz(args: argparse.Namespace) -> int:
         critical_paths,
         fit_message_model,
         message_time_samples,
+        overlap_report,
         rank_time_breakdown,
+        render_overlap_report,
         traffic_matrix,
     )
 
@@ -190,6 +193,9 @@ def _cmd_commviz(args: argparse.Namespace) -> int:
     for rank, by_name in breakdown.items():
         cells = "".join(f"  {by_name.get(n, 0.0) * 1e3:11.3f}" for n in names)
         print(f"  {rank:4d}{cells}  {sum(by_name.values()) * 1e3:11.3f}")
+
+    print()
+    print(render_overlap_report(overlap_report(tracer)))
 
     print()
     print("per-V-cycle critical path (longest send->recv dependency chain):")
@@ -266,8 +272,12 @@ def _cmd_perfgate(args: argparse.Namespace) -> int:
         candidate = load_candidate(args.candidate)
         print(f"candidate: {args.candidate} ({len(candidate.metrics)} metrics)")
     else:
-        print(f"measuring hot-path candidate (best of {args.rounds} rounds)...")
-        candidate = measure_hotpath(rounds=args.rounds)
+        schedule = "overlap" if args.overlap else "sync"
+        print(
+            f"measuring hot-path candidate (best of {args.rounds} rounds, "
+            f"{schedule} schedule)..."
+        )
+        candidate = measure_hotpath(rounds=args.rounds, overlap=args.overlap)
     if args.inject_slowdown:
         factor = 1.0 + args.inject_slowdown / 100.0
         candidate = LedgerEntry(
@@ -499,6 +509,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "three (bit-identical to 'off', faster)")
         p.add_argument("--no-ca", action="store_true",
                        help="disable communication-avoiding smoothing")
+        p.add_argument("--overlap", action="store_true",
+                       help="split-phase halo exchange: post sends, "
+                            "compute interior bricks while envelopes are "
+                            "in flight, wait only before the shell pass "
+                            "(bit-identical to the synchronous schedule)")
         p.add_argument("--agglomerate-threshold", type=int, default=None,
                        metavar="POINTS",
                        help="merge coarse-level subdomains onto fewer "
@@ -617,6 +632,11 @@ def build_parser() -> argparse.ArgumentParser:
     perfgate.add_argument(
         "--inject-slowdown", type=float, default=0.0, metavar="PCT",
         help="scale the candidate's metrics by 1+PCT/100 (gate self-test)",
+    )
+    perfgate.add_argument(
+        "--overlap", action="store_true",
+        help="measure the hot path under the split-phase overlap "
+             "schedule (gated against the same baseline series)",
     )
     perfgate.set_defaults(func=_cmd_perfgate)
 

@@ -121,39 +121,66 @@ class LocalPeriodicExchange:
         with self.tracer.span(
             "exchange", l=level, nfields=len(fields_by_rank[0])
         ):
-            for field in fields_by_rank[0]:
-                if field.grid is not self.grid:
-                    raise ValueError(
-                        "field grid does not match the exchanger's grid"
-                    )
-                if self._fill is None:
-                    field.fill_ghost_periodic()
-                else:
-                    field.zero_ghost()
-                    self._fill.apply(field)
-        if self._fill is not None:
-            if self.recorder is not None:
-                self.recorder.exchange(level)
-            return
-        if self.recorder is not None:
-            self.recorder.exchange(level)
-            nfields = len(fields_by_rank[0])
-            itemsize = fields_by_rank[0][0].data.dtype.itemsize
-            rows = self._message_rows.get(itemsize)
-            if rows is None:
-                rows = [
-                    (self.grid.region_num_bytes(d, itemsize), direction_kind(d))
-                    for d in NEIGHBOR_DIRECTIONS
-                ]
-                self._message_rows[itemsize] = rows
-            for nbytes, kind in rows:
-                self.recorder.message(
-                    level,
-                    nbytes * nfields,
-                    kind,
-                    segments=1,
-                    self_message=True,
+            self._fill_ghosts(fields_by_rank[0])
+        self._record(level, fields_by_rank[0])
+
+    def begin(
+        self, level: int, fields_by_rank: Sequence[Sequence[BrickedArray]]
+    ) -> int:
+        """Split-phase entry: a single rank has no wire traffic to hide,
+        so the whole periodic wrap (or boundary fill) happens eagerly at
+        ``begin`` — it writes only ghost bricks, which the interior pass
+        never reads.  Returns the pending token for :meth:`finish`."""
+        if len(fields_by_rank) != 1:
+            raise ValueError("LocalPeriodicExchange serves exactly one rank")
+        with self.tracer.span(
+            "exchange.begin", l=level, nfields=len(fields_by_rank[0])
+        ):
+            self._fill_ghosts(fields_by_rank[0])
+        self._record(level, fields_by_rank[0])
+        return level
+
+    def finish(self, pending: int) -> None:
+        """Split-phase completion: everything already happened at
+        ``begin``; the span keeps wait-time accounting uniform."""
+        with self.tracer.span("exchange.finish", l=pending, nfields=0):
+            pass
+
+    def _fill_ghosts(self, fields: Sequence[BrickedArray]) -> None:
+        for field in fields:
+            if field.grid is not self.grid:
+                raise ValueError(
+                    "field grid does not match the exchanger's grid"
                 )
+            if self._fill is None:
+                field.fill_ghost_periodic()
+            else:
+                field.zero_ghost()
+                self._fill.apply(field)
+
+    def _record(self, level: int, fields: Sequence[BrickedArray]) -> None:
+        if self.recorder is None:
+            return
+        self.recorder.exchange(level)
+        if self._fill is not None:
+            return
+        nfields = len(fields)
+        itemsize = fields[0].data.dtype.itemsize
+        rows = self._message_rows.get(itemsize)
+        if rows is None:
+            rows = [
+                (self.grid.region_num_bytes(d, itemsize), direction_kind(d))
+                for d in NEIGHBOR_DIRECTIONS
+            ]
+            self._message_rows[itemsize] = rows
+        for nbytes, kind in rows:
+            self.recorder.message(
+                level,
+                nbytes * nfields,
+                kind,
+                segments=1,
+                self_message=True,
+            )
 
 
 class ResilientChannel:
@@ -474,7 +501,64 @@ class HaloExchange(ResilientChannel):
         with self.tracer.span("exchange", l=level, nfields=nfields):
             self._exchange(level, fields_by_rank)
 
+    def begin(
+        self, level: int, fields_by_rank: Sequence[Sequence[BrickedArray]]
+    ) -> tuple[int, Sequence[Sequence[BrickedArray]]]:
+        """Split-phase entry: post every rank's Isends and return.
+
+        Validation, crash polling and the send loop are byte-for-byte
+        the synchronous :meth:`exchange`'s first phase, so envelope
+        sequencing, checksums and fault injection see an identical
+        stream; the receives, boundary fills and exchange accounting
+        are deferred to :meth:`finish`.  The caller runs interior
+        compute between the two calls.  Returns the pending token that
+        :meth:`finish` consumes.
+        """
+        with self.tracer.span(
+            "exchange.begin",
+            l=level,
+            nfields=len(fields_by_rank[0]) if fields_by_rank else 0,
+        ):
+            self._validate(level, fields_by_rank)
+            self.poll_crashes(level)
+            self._post_sends(level, fields_by_rank)
+        return (level, fields_by_rank)
+
+    def finish(
+        self, pending: tuple[int, Sequence[Sequence[BrickedArray]]]
+    ) -> None:
+        """Split-phase completion: receives, boundary fills, accounting.
+
+        Polls level-pinned crashes again (a spec that fired at
+        :meth:`begin` is already consumed, so this is a no-op re-poll —
+        but it keeps the crash-detection contract at both ends of the
+        in-flight window) and then completes the collective exactly as
+        the synchronous path's receive/fill phases would.
+        """
+        level, fields_by_rank = pending
+        with self.tracer.span(
+            "exchange.finish",
+            l=level,
+            nfields=len(fields_by_rank[0]) if fields_by_rank else 0,
+        ):
+            self.poll_crashes(level)
+            self._complete_receives(level, fields_by_rank)
+            self._apply_fills(fields_by_rank)
+        if self.recorder is not None:
+            self.recorder.exchange(level)
+
     def _exchange(
+        self, level: int, fields_by_rank: Sequence[Sequence[BrickedArray]]
+    ) -> None:
+        self._validate(level, fields_by_rank)
+        self.poll_crashes(level)
+        self._post_sends(level, fields_by_rank)
+        self._complete_receives(level, fields_by_rank)
+        self._apply_fills(fields_by_rank)
+        if self.recorder is not None:
+            self.recorder.exchange(level)
+
+    def _validate(
         self, level: int, fields_by_rank: Sequence[Sequence[BrickedArray]]
     ) -> None:
         size = self.topology.size
@@ -493,8 +577,11 @@ class HaloExchange(ResilientChannel):
                 ):
                     raise ValueError("field grid incompatible with exchanger grid")
 
-        self.poll_crashes(level)
-
+    def _post_sends(
+        self, level: int, fields_by_rank: Sequence[Sequence[BrickedArray]]
+    ) -> None:
+        size = self.topology.size
+        nfields = len(fields_by_rank[0])
         # Phase 1: every rank posts one aggregated send per direction.
         for rank in range(size):
             if self._is_dead(rank):
@@ -530,6 +617,11 @@ class HaloExchange(ResilientChannel):
                         self_message=(dst == rank),
                     )
 
+    def _complete_receives(
+        self, level: int, fields_by_rank: Sequence[Sequence[BrickedArray]]
+    ) -> None:
+        size = self.topology.size
+        nfields = len(fields_by_rank[0])
         # Phase 2: every rank completes its 26 receives.  Data arriving
         # from the neighbour along d was sent with tag direction(d)
         # (the sender's direction towards us is -(-d) = d as the tag of
@@ -560,17 +652,18 @@ class HaloExchange(ResilientChannel):
                     for f_idx, field in enumerate(fields):
                         field.data[ghost] = payload[f_idx]
 
+    def _apply_fills(
+        self, fields_by_rank: Sequence[Sequence[BrickedArray]]
+    ) -> None:
         # Phase 3: boundary conditions synthesise the outward ghosts
         # (after all receives — corner mirrors read exchanged ghosts).
-        if self._fills is not None:
-            for rank in range(size):
-                if self._is_dead(rank):
-                    continue
-                for field in fields_by_rank[rank]:
-                    self._fills[rank].apply(field)
-
-        if self.recorder is not None:
-            self.recorder.exchange(level)
+        if self._fills is None:
+            return
+        for rank in range(self.topology.size):
+            if self._is_dead(rank):
+                continue
+            for field in fields_by_rank[rank]:
+                self._fills[rank].apply(field)
 
     def _receive(
         self,

@@ -21,17 +21,26 @@ evaluated before any output grid is written, so fused kernels such as
 
 from __future__ import annotations
 
+import contextlib
 import io
 
 import numpy as np
 
 from repro.bricks.bricked_array import BrickedArray
 from repro.bricks.halo import gather_extended
-from repro.bricks.halo_plan import gather_planned, offset_plan_for, refresh_shell
+from repro.bricks.halo_plan import (
+    gather_planned,
+    offset_plan_for,
+    plan_for,
+    refresh_shell,
+)
 from repro.dsl.analysis import StencilAnalysis, analyze, common_subexpressions
 from repro.dsl.ast import BinOp, Const, ConstRef, Expr, GridRef, Stencil
 
 _KERNEL_CACHE: dict[tuple, "CompiledKernel"] = {}
+
+#: reusable no-op context for untraced split applies
+_NULL_CTX = contextlib.nullcontext()
 
 
 class _Emitter:
@@ -220,24 +229,7 @@ class CompiledKernel:
             avoid reallocating extended halo buffers.
         """
         consts = consts or {}
-        missing = [c for c in self.analysis.const_names if c not in consts]
-        if missing:
-            raise KeyError(f"missing constants for {self.stencil.name}: {missing}")
-        absent = sorted(g for g in self._needed_grids if g not in fields)
-        if absent:
-            raise KeyError(f"missing fields for {self.stencil.name}: {absent}")
-
-        grid = None
-        for f in fields.values():
-            if grid is None:
-                grid = f.grid
-            elif f.grid is not grid:
-                raise ValueError("all fields must share one BrickGrid")
-        if grid.brick_dim != self.brick_dim:
-            raise ValueError(
-                f"kernel compiled for brick_dim={self.brick_dim}, fields have "
-                f"{grid.brick_dim}"
-            )
+        grid = self._validate(fields, consts)
 
         r = self.analysis.radius
         halo = self.analysis.halo_grids
@@ -280,6 +272,217 @@ class CompiledKernel:
         else:
             self._fn(bufs, consts, outs)
 
+    def apply_split(
+        self,
+        fields: dict[str, BrickedArray],
+        consts: dict[str, float] | None = None,
+        workspace: dict | None = None,
+        *,
+        partition,
+        barrier,
+        tracer=None,
+        level: int | None = None,
+    ) -> None:
+        """Evaluate the stencil in two passes around a halo barrier.
+
+        The *interior* pass (``partition.interior`` — bricks whose
+        stencil footprint reads only owned bricks) is computed into
+        scratch buffers while the halo exchange is still in flight;
+        ``barrier()`` (typically ``HaloExchange.finish``) then completes
+        the exchange, and the *shell* pass evaluates the remaining
+        bricks against the fresh ghost values.  Both passes' results are
+        stored only after the shell compute, so read-write grids (e.g.
+        ``x`` in fused smoothers) are never observed half-updated —
+        exactly the compute-then-store discipline of :meth:`apply`,
+        stretched across the barrier.
+
+        Each pass evaluates the same expression tree per element as the
+        full-grid kernel, so the result is bit-identical to
+        ``exchange(); apply()``.
+        """
+        consts = consts or {}
+        grid = self._validate(fields, consts)
+        if partition.num_slots != grid.num_slots:
+            raise ValueError(
+                f"partition covers {partition.num_slots} slots, grid has "
+                f"{grid.num_slots}"
+            )
+
+        def span(name: str, n: int):
+            if tracer is None:
+                return _NULL_CTX
+            attrs = {"slots": n}
+            if level is not None:
+                attrs["l"] = level
+            return tracer.span(name, **attrs)
+
+        interior, shell = partition.interior, partition.shell
+        with span("interior", int(interior.size)):
+            pre = self._compute_subset(fields, consts, workspace, partition, "interior")
+        barrier()
+        with span("shell", int(shell.size)):
+            post = self._compute_subset(fields, consts, workspace, partition, "shell")
+            for g in self.analysis.output_grids:
+                out = fields[g].data
+                if shell.size:
+                    out[shell] = post[g]
+                if interior.size:
+                    out[interior] = pre[g]
+
+    def _compute_subset(
+        self,
+        fields: dict[str, BrickedArray],
+        consts: dict[str, float],
+        workspace: dict | None,
+        partition,
+        which: str,
+    ) -> dict[str, np.ndarray]:
+        """Run the kernel over one pass's slots into scratch outputs.
+
+        Operand gathers are restricted to the subset through the
+        partition's cached index tables; values per slot are identical
+        to the full-grid gathers, so the pass computes exactly the
+        full kernel's results for its slots.
+        """
+        sel = partition.select(which)
+        n = int(sel.size)
+        r = self.analysis.radius
+        halo = self.analysis.halo_grids
+        use_offsets = bool(halo) and all(
+            fields[g].planned_gather and self._offset_ready(fields[g])
+            for g in halo
+        )
+        bufs: dict[str, np.ndarray] = {}
+        for g in self.analysis.input_grids:
+            f = fields[g]
+            if g in halo:
+                if use_offsets:
+                    self._offset_bufs_subset(g, f, workspace, bufs, partition, which)
+                else:
+                    bufs[g] = self._gather_subset(g, f, r, workspace, partition, which)
+            else:
+                bufs[g] = f.data[sel]
+        B = self.brick_dim
+        outs: dict[str, np.ndarray] = {}
+        for g in self.analysis.output_grids:
+            dtype = fields[g].data.dtype
+            buf = None
+            if workspace is not None:
+                key = (g, "split-out", which, n, dtype)
+                buf = workspace.get(key)
+            if buf is None:
+                buf = np.empty((n, B, B, B), dtype=dtype)
+                if workspace is not None:
+                    workspace[key] = buf
+            outs[g] = buf
+        if n:
+            if use_offsets:
+                self._offset_fn(bufs, consts, outs)
+            else:
+                self._fn(bufs, consts, outs)
+        return outs
+
+    def _offset_bufs_subset(
+        self,
+        g: str,
+        f: BrickedArray,
+        workspace: dict | None,
+        bufs: dict[str, np.ndarray],
+        partition,
+        which: str,
+    ) -> None:
+        """Subset variant of :meth:`_offset_bufs`: per-offset blocks
+        restricted to one pass's slots, one ``np.take`` per grid."""
+        has_center, center_key, planned, planned_keys = self._offset_rows[g]
+        sel = partition.select(which)
+        source = self._packed_source(g, f, workspace)
+        if has_center:
+            bufs[center_key] = source[sel]
+        if not planned:
+            return
+        plan = offset_plan_for(f.grid, planned, 0)
+        table = partition.offset_subset(plan, which)
+        n = int(sel.size)
+        block = None
+        if workspace is not None:
+            bkey = (g, "split-offsets", which, len(planned), n, f.dtype)
+            block = workspace.get(bkey)
+        if block is None:
+            block = np.empty(
+                (len(planned), n) + (self.brick_dim,) * 3, dtype=f.dtype
+            )
+            if workspace is not None:
+                workspace[bkey] = block
+        if n:
+            np.take(
+                source.reshape(-1),
+                table,
+                out=block.reshape(len(planned), n, -1),
+                mode="clip",
+            )
+        for k, key in enumerate(planned_keys):
+            bufs[key] = block[k]
+
+    def _gather_subset(
+        self,
+        g: str,
+        f: BrickedArray,
+        r: int,
+        workspace: dict | None,
+        partition,
+        which: str,
+    ) -> np.ndarray:
+        """Extended-block gather restricted to one pass's slots.
+
+        Sources the packed interior view (never the resident shell), so
+        the values match a full :class:`HaloPlan` gather row-for-row —
+        which is itself bit-identical to ``gather_extended``.
+        """
+        plan = plan_for(f.grid, r)
+        sel = partition.select(which)
+        n = int(sel.size)
+        E = plan.ext
+        data = f.data
+        buf = None
+        if workspace is not None:
+            key = (g, "split-ext", which, n, E, data.dtype)
+            buf = workspace.get(key)
+        if buf is None:
+            buf = np.empty((n, E, E, E), dtype=data.dtype)
+            if workspace is not None:
+                workspace[key] = buf
+        if n == 0:
+            return buf
+        flat, nbr = partition.halo_subset(plan, which)
+        if data.flags.c_contiguous:
+            np.take(data.reshape(-1), flat, out=buf.reshape(n, -1))
+        else:
+            buf.reshape(n, -1)[...] = data.reshape(data.shape[0], -1)[
+                nbr, plan.cell_all
+            ]
+        return buf
+
+    def _validate(self, fields: dict[str, BrickedArray], consts: dict):
+        """Shared apply/apply_split argument checks; returns the grid."""
+        missing = [c for c in self.analysis.const_names if c not in consts]
+        if missing:
+            raise KeyError(f"missing constants for {self.stencil.name}: {missing}")
+        absent = sorted(g for g in self._needed_grids if g not in fields)
+        if absent:
+            raise KeyError(f"missing fields for {self.stencil.name}: {absent}")
+        grid = None
+        for f in fields.values():
+            if grid is None:
+                grid = f.grid
+            elif f.grid is not grid:
+                raise ValueError("all fields must share one BrickGrid")
+        if grid.brick_dim != self.brick_dim:
+            raise ValueError(
+                f"kernel compiled for brick_dim={self.brick_dim}, fields have "
+                f"{grid.brick_dim}"
+            )
+        return grid
+
     @staticmethod
     def _offset_ready(f: BrickedArray) -> bool:
         """Planned per-offset gathers need a flat (contiguous) source."""
@@ -303,22 +506,7 @@ class CompiledKernel:
         fields the centre block is the field's own storage — no copy.
         """
         has_center, center_key, planned, planned_keys = self._offset_rows[g]
-        if f.has_resident_halo:
-            # Re-pack the (strided) interior once: the per-offset take
-            # then streams from a compact contiguous source, which beats
-            # both extended-slice operands and an ext-sourced take.
-            source = None
-            if workspace is not None:
-                key = (g, "packed", f.data.shape, f.dtype)
-                source = workspace.get(key)
-                if source is None:
-                    source = np.empty(f.data.shape, dtype=f.dtype)
-                    workspace[key] = source
-            else:
-                source = np.empty(f.data.shape, dtype=f.dtype)
-            np.copyto(source, f.data)
-        else:
-            source = f.data
+        source = self._packed_source(g, f, workspace)
         if has_center:
             bufs[center_key] = source
         if not planned:
@@ -334,6 +522,29 @@ class CompiledKernel:
         block = plan.gather(source, out=block)
         for k, key in enumerate(planned_keys):
             bufs[key] = block[k]
+
+    @staticmethod
+    def _packed_source(g: str, f: BrickedArray, workspace: dict | None):
+        """Contiguous packed source for per-offset gathers.
+
+        Halo-resident fields re-pack the (strided) interior once: the
+        per-offset take then streams from a compact contiguous source,
+        which beats both extended-slice operands and an ext-sourced
+        take.  Packed fields are their own source — no copy.
+        """
+        if not f.has_resident_halo:
+            return f.data
+        source = None
+        if workspace is not None:
+            key = (g, "packed", f.data.shape, f.dtype)
+            source = workspace.get(key)
+            if source is None:
+                source = np.empty(f.data.shape, dtype=f.dtype)
+                workspace[key] = source
+        else:
+            source = np.empty(f.data.shape, dtype=f.dtype)
+        np.copyto(source, f.data)
+        return source
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CompiledKernel({self.stencil.name!r}, brick_dim={self.brick_dim})"

@@ -90,6 +90,8 @@ class _StackedLevel:
     """
 
     fused_kernels = False
+    #: armed by the V-cycle driver in overlap mode (see Level.overlap_ctx)
+    overlap_ctx = None
 
     def __init__(self, base_levels: Sequence[Level], ext_storage: bool) -> None:
         first = base_levels[0]

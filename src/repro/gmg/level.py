@@ -63,6 +63,12 @@ class Level:
     #: stencils (one kernel, one halo gather) instead of staged kernels
     fused_kernels = False
 
+    #: armed by the V-cycle driver in overlap mode: the in-flight
+    #: split-phase exchange context that the level's *first*
+    #: halo-reading kernel consumes (interior pass, then finish(), then
+    #: shell pass); ``None`` whenever no exchange is in flight
+    overlap_ctx = None
+
     def __init__(
         self,
         index: int,

@@ -51,18 +51,38 @@ from repro.instrument import Recorder
 from repro.obs.tracer import NULL_TRACER
 
 
+def _run_kernel(level: Level, stencil, consts: dict, tracer) -> None:
+    """Apply one compiled stencil, honouring a pending overlap context.
+
+    In overlap mode the V-cycle driver arms ``level.overlap_ctx`` after
+    posting a split-phase exchange; the *first* halo-reading kernel of
+    the iterate consumes it (interior pass → ``finish()`` → shell
+    pass).  Pointwise kernels and later kernels of the same iterate run
+    whole-grid as usual — by then the halo is complete.
+    """
+    kernel = compile_stencil(stencil, level.grid.brick_dim)
+    ctx = getattr(level, "overlap_ctx", None)
+    if ctx is not None and kernel.analysis.halo_grids:
+        level.overlap_ctx = None
+        kernel.apply_split(
+            level.fields(), consts, level.workspace,
+            partition=ctx.partition, barrier=ctx.finish,
+            tracer=tracer, level=level.index,
+        )
+        return
+    kernel.apply(level.fields(), consts, level.workspace)
+
+
 def _apply_op(level: Level, recorder: Recorder | None, tracer=NULL_TRACER) -> None:
     with tracer.span("applyOp", l=level.index):
-        kernel = compile_stencil(APPLY_OP, level.grid.brick_dim)
-        kernel.apply(level.fields(), level.constants.as_dict(), level.workspace)
+        _run_kernel(level, APPLY_OP, level.constants.as_dict(), tracer)
     if recorder is not None:
         recorder.kernel(level.index, "applyOp", level.num_points)
 
 
 def _residual(level: Level, recorder: Recorder | None, tracer=NULL_TRACER) -> None:
     with tracer.span("residual", l=level.index):
-        kernel = compile_stencil(RESIDUAL, level.grid.brick_dim)
-        kernel.apply(level.fields(), {}, level.workspace)
+        _run_kernel(level, RESIDUAL, {}, tracer)
     if recorder is not None:
         recorder.kernel(level.index, "residual", level.num_points)
 
@@ -74,9 +94,8 @@ def _apply_op_residual(
     runs under the engine's fused mode, the staged pair otherwise."""
     if level.fused_kernels:
         with tracer.span(FUSED_APPLY_RESIDUAL.name, l=level.index):
-            kernel = compile_stencil(FUSED_APPLY_RESIDUAL, level.grid.brick_dim)
-            kernel.apply(
-                level.fields(), level.constants.as_dict(), level.workspace
+            _run_kernel(
+                level, FUSED_APPLY_RESIDUAL, level.constants.as_dict(), tracer
             )
         if recorder is not None:
             recorder.kernel(level.index, FUSED_APPLY_RESIDUAL.name, level.num_points)
@@ -113,6 +132,11 @@ class Smoother:
     #: span tracer; the V-cycle driver rebinds this when tracing is on,
     #: so the default path pays only the null tracer's no-op calls
     tracer = NULL_TRACER
+    #: whether every iterate routes its first halo-reading kernel
+    #: through :func:`_run_kernel` (the overlap-context consumer); the
+    #: V-cycle driver falls back to synchronous exchanges otherwise, so
+    #: custom smoothers are safe-by-default under ``overlap=True``
+    supports_overlap = False
 
     def iterate(
         self, level: Level, with_residual: bool, recorder: Recorder | None
@@ -133,6 +157,7 @@ class JacobiSmoother(Smoother):
 
     name = "jacobi"
     ghost_cells_per_iteration = 1
+    supports_overlap = True
 
     def __init__(self, omega: float = 0.5) -> None:
         if not 0.0 < omega <= 1.0:
@@ -156,18 +181,14 @@ class JacobiSmoother(Smoother):
             # CSE-hoisted, so the float sequence matches the staged path
             stencil = FUSED_SMOOTH_RESIDUAL if with_residual else FUSED_SMOOTH
             with self.tracer.span(stencil.name, l=level.index):
-                kernel = compile_stencil(stencil, level.grid.brick_dim)
-                kernel.apply(
-                    level.fields(), self._constants(level), level.workspace
-                )
+                _run_kernel(level, stencil, self._constants(level), self.tracer)
             if recorder is not None:
                 recorder.kernel(level.index, stencil.name, level.num_points)
             return
         _apply_op(level, recorder, self.tracer)
         stencil = SMOOTH_RESIDUAL if with_residual else SMOOTH
         with self.tracer.span(stencil.name, l=level.index):
-            kernel = compile_stencil(stencil, level.grid.brick_dim)
-            kernel.apply(level.fields(), self._constants(level), level.workspace)
+            _run_kernel(level, stencil, self._constants(level), self.tracer)
         if recorder is not None:
             recorder.kernel(level.index, stencil.name, level.num_points)
 
@@ -176,6 +197,7 @@ class _ColoredSmoother(Smoother):
     """Shared machinery for chequerboard (red-black) sweeps."""
 
     ghost_cells_per_iteration = 2  # two operator applications
+    supports_overlap = True
 
     def __init__(self, omega: float = 1.0) -> None:
         if not 0.0 < omega < 2.0:
@@ -299,6 +321,7 @@ class ChebyshevSmoother(Smoother):
     """
 
     name = "chebyshev"
+    supports_overlap = True
 
     def __init__(self, degree: int = 2, eig_upper: float = 1.9,
                  alpha_ratio: float = 8.0) -> None:

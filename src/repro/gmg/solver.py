@@ -73,6 +73,11 @@ class SolverConfig:
     halo_resident: bool = False
     fuse_kernels: bool = False
     batch_ranks: bool = False
+    #: communication–computation overlap (repro.bricks.partition +
+    #: split-phase exchange): halo sends post first, interior bricks
+    #: compute while envelopes are in flight, and only the shell pass
+    #: waits on completion.  Bit-identical to the synchronous schedule.
+    overlap: bool = False
     #: coarse-level agglomeration (repro.gmg.agglomerate): when a
     #: level's per-rank subdomain falls below this many points, merge
     #: subdomains onto a factor-of-8-smaller active rank grid.  None
@@ -416,6 +421,7 @@ class GMGSolver:
             engine=self.engine,
             tracer=self.tracer,
             agglomerator=self.agglomerator,
+            overlap=config.overlap,
         )
 
     def _build_exchanger(self, lev: int):
@@ -463,6 +469,7 @@ class GMGSolver:
         decomposition, so the replayed schedule stays bit-identical.
         """
         from repro.bricks.halo_plan import clear_offset_plan_cache
+        from repro.bricks.partition import clear_partition_cache
 
         self.exchangers = [
             self._build_exchanger(lev)
@@ -475,6 +482,7 @@ class GMGSolver:
         if self.buddy is not None:
             self.buddy.reset_envelopes()
         clear_offset_plan_cache()
+        clear_partition_cache()
 
     def _restart_state(self) -> None:
         """Deterministically re-initialise the solve for a global restart.

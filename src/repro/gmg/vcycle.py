@@ -31,6 +31,7 @@ from typing import Protocol, Sequence
 import numpy as np
 
 from repro.bricks.bricked_array import BrickedArray
+from repro.bricks.partition import partition_for
 from repro.gmg import operators as ops
 from repro.gmg.bottom import BottomSolver, RelaxationBottomSolver
 from repro.gmg.level import Level
@@ -43,11 +44,43 @@ CYCLE_TYPES = ("V", "W", "F")
 
 
 class Exchanger(Protocol):
-    """Anything that can fill ghost shells for all ranks of one level."""
+    """Anything that can fill ghost shells for all ranks of one level.
+
+    Exchangers may additionally offer the split-phase pair
+    ``begin(level, fields_by_rank) -> pending`` / ``finish(pending)``;
+    the driver uses it (when ``overlap`` is on) to run interior compute
+    while halo envelopes are in flight, and falls back to the
+    synchronous ``exchange`` otherwise.
+    """
 
     def exchange(
         self, level: int, fields_by_rank: Sequence[Sequence[BrickedArray]]
     ) -> None: ...
+
+
+class _OverlapContext:
+    """One in-flight split-phase exchange, armed on the compute levels.
+
+    The first halo-reading kernel after ``begin()`` consumes the
+    context (interior pass → :meth:`finish` → shell pass);
+    :meth:`finish` is idempotent so the driver's defensive completion
+    after the iterate — and cleanup after an exchange fault — never
+    double-finishes.
+    """
+
+    __slots__ = ("exchanger", "pending", "partition", "_done")
+
+    def __init__(self, exchanger, pending, partition) -> None:
+        self.exchanger = exchanger
+        self.pending = pending
+        self.partition = partition
+        self._done = False
+
+    def finish(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        self.exchanger.finish(self.pending)
 
 
 class VCycle:
@@ -108,6 +141,7 @@ class VCycle:
         engine=None,
         tracer=None,
         agglomerator=None,
+        overlap: bool = False,
     ) -> None:
         if not rank_levels or not rank_levels[0]:
             raise ValueError("need at least one rank with at least one level")
@@ -143,6 +177,10 @@ class VCycle:
         #: by a shrinking active rank grid — bit-identical numerics,
         #: structurally fewer and larger messages
         self.agglomerator = agglomerator
+        #: communication–computation overlap: split-phase exchanges with
+        #: interior/shell kernel passes, bit-identical to the
+        #: synchronous schedule (see DESIGN.md "Overlap execution")
+        self.overlap = bool(overlap)
         #: span tracer (repro.obs); the shared null tracer when tracing
         #: is off, so the hot path never branches on "is tracing on?"
         self.tracer = tracer or NULL_TRACER
@@ -217,30 +255,44 @@ class VCycle:
         per-rank smoother loop collapses into one vectorised iterate
         over the stacked level (exchanges still address the per-rank
         fields, whose storage views the stacked arrays).
+
+        In overlap mode an exchange iteration posts its sends via
+        ``begin()`` and arms the compute levels' overlap context: the
+        iterate's first halo-reading kernel runs its interior pass
+        while envelopes are in flight and only its shell pass waits on
+        ``finish()``.  Iterations living off banked CA halo are
+        unchanged — there is nothing in flight to hide.
         """
         levels = self.levels_at(lev)
         stacked = (
             self.engine.stacked_level(lev) if self.engine is not None else None
         )
+        split_ok = getattr(self.smoother, "supports_overlap", False)
         per_iter = self.smoother.ghost_cells_per_iteration
         budget = self.iterations_per_exchange(lev) * per_iter
         ghost_valid = 0
         b_exchanged = False
         with self.tracer.span("smooth-visit", l=lev, n=iterations):
             for _ in range(iterations):
+                ctx = None
                 if ghost_valid < per_iter:
                     if b_exchanged:
                         fields = [[lv.x] for lv in levels]
                     else:
                         fields = [[lv.x, lv.b] for lv in levels]
                         b_exchanged = True
-                    self.exchanger_at(lev).exchange(lev, fields)
+                    ctx = self._exchange_levels(
+                        lev, fields, levels, stacked, split_ok
+                    )
                     ghost_valid = budget
-                if stacked is not None:
-                    self.smoother.iterate(stacked, with_residual, self.recorder)
-                else:
-                    for lv in levels:
-                        self.smoother.iterate(lv, with_residual, self.recorder)
+                try:
+                    if stacked is not None:
+                        self.smoother.iterate(stacked, with_residual, self.recorder)
+                    else:
+                        for lv in levels:
+                            self.smoother.iterate(lv, with_residual, self.recorder)
+                finally:
+                    self._end_overlap(ctx, levels, stacked)
                 ghost_valid -= per_iter
             if self.fault_injector is not None:
                 # Silent-data-corruption model: the smoother "wrote" a bad
@@ -251,6 +303,48 @@ class VCycle:
                     self.fault_injector.kernel_sdc(lev, rank, lv.x)
 
     # ------------------------------------------------------------------
+    def _exchange_levels(
+        self, lev: int, fields, levels, stacked, split_ok: bool
+    ):
+        """Fill ghost shells, split-phase when overlap applies.
+
+        Returns the in-flight :class:`_OverlapContext` (armed on the
+        compute targets — the stacked level under the engine, the
+        per-rank levels otherwise) or ``None`` after a synchronous
+        exchange.  Falls back to synchronous when overlap is off, the
+        consumer does not route kernels through the overlap-aware
+        helpers (``split_ok``), or the exchanger has no ``begin``.
+        """
+        ex = self.exchanger_at(lev)
+        begin = getattr(ex, "begin", None)
+        if not (self.overlap and split_ok) or begin is None:
+            ex.exchange(lev, fields)
+            return None
+        grid = (stacked if stacked is not None else levels[0]).grid
+        partition = partition_for(grid)
+        pending = begin(lev, fields)
+        ctx = _OverlapContext(ex, pending, partition)
+        for target in ([stacked] if stacked is not None else levels):
+            target.overlap_ctx = ctx
+        return ctx
+
+    def _end_overlap(self, ctx, levels, stacked) -> None:
+        """Complete an in-flight exchange and disarm the levels.
+
+        The first halo-reading kernel normally consumed the context
+        already (``finish`` is then a no-op); completing here keeps the
+        collective's envelope accounting correct even if an iterate
+        raised mid-flight, and disarming prevents a stale context from
+        leaking into later iterations or a post-rollback replay.
+        """
+        if ctx is None:
+            return
+        try:
+            ctx.finish()
+        finally:
+            for target in ([stacked] if stacked is not None else levels):
+                target.overlap_ctx = None
+
     def _stacked_pair(self, lev: int):
         if self.engine is None:
             return None
@@ -366,23 +460,36 @@ class VCycle:
         """Global max-norm of the finest-level residual (Algorithm 1)."""
         with self.tracer.span("residual-check", v=self.cycles_run):
             levels = self.levels_at(0)
-            self.exchangers[0].exchange(0, [[lv.x] for lv in levels])
             stacked = (
                 self.engine.stacked_level(0) if self.engine is not None else None
             )
-            if stacked is not None and self.apply_op_fn is ops.apply_op:
-                # one vectorised applyOp + residual over all rank blocks;
-                # the per-rank local maxima read through the stacked views
-                with self.tracer.span("applyOp", l=0):
-                    ops.apply_op(stacked, self.recorder)
-                with self.tracer.span("residual", l=0):
-                    ops.residual(stacked, self.recorder)
-            else:
-                for lv in levels:
+            # split-phase overlap only when the default applyOp runs —
+            # a custom apply_op_fn may not consume the armed context,
+            # and would then read stale ghosts
+            split_ok = self.apply_op_fn is ops.apply_op
+            ctx = self._exchange_levels(
+                0, [[lv.x] for lv in levels], levels, stacked, split_ok
+            )
+            try:
+                if stacked is not None and self.apply_op_fn is ops.apply_op:
+                    # one vectorised applyOp + residual over all rank
+                    # blocks; the per-rank local maxima read through the
+                    # stacked views
                     with self.tracer.span("applyOp", l=0):
-                        self.apply_op_fn(lv, self.recorder)
+                        ops.apply_op(stacked, self.recorder, tracer=self.tracer)
                     with self.tracer.span("residual", l=0):
-                        ops.residual(lv, self.recorder)
+                        ops.residual(stacked, self.recorder)
+                else:
+                    for lv in levels:
+                        with self.tracer.span("applyOp", l=0):
+                            if self.apply_op_fn is ops.apply_op:
+                                ops.apply_op(lv, self.recorder, tracer=self.tracer)
+                            else:
+                                self.apply_op_fn(lv, self.recorder)
+                        with self.tracer.span("residual", l=0):
+                            ops.residual(lv, self.recorder)
+            finally:
+                self._end_overlap(ctx, levels, stacked)
             local = [lv.r.max_abs_interior() for lv in levels]
             if self.recorder is not None:
                 self.recorder.reduction()

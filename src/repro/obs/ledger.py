@@ -309,7 +309,9 @@ def entry_from_profile(report, recorded_at: str = "") -> LedgerEntry:
     )
 
 
-def measure_hotpath(rounds: int = 3, quick: bool | None = None) -> LedgerEntry:
+def measure_hotpath(
+    rounds: int = 3, quick: bool | None = None, overlap: bool = False
+) -> LedgerEntry:
     """Measure the tier-1 end-to-end hot path as a gate candidate.
 
     A trimmed in-process rerun of the end-to-end section of
@@ -317,7 +319,10 @@ def measure_hotpath(rounds: int = 3, quick: bool | None = None) -> LedgerEntry:
     ``rounds`` over the seed and full-engine configurations — so
     ``repro perfgate`` can produce a candidate without the benchmark
     suite.  Metric names match the bench's (``end_to_end_ms.*``), which
-    is what makes the two comparable in one ledger.
+    is what makes the two comparable in one ledger.  ``overlap`` runs
+    the same configurations under the split-phase exchange schedule
+    (bit-identical numerics), gating the overlap path against the same
+    baseline series — the schedule must not regress the hot path.
     """
     import time
 
@@ -326,7 +331,7 @@ def measure_hotpath(rounds: int = 3, quick: bool | None = None) -> LedgerEntry:
     if quick is None:
         quick = bool(os.environ.get("REPRO_BENCH_QUICK"))
     rounds = max(1, rounds if not quick else min(rounds, 2))
-    tier1 = dict(global_cells=32, num_levels=3, brick_dim=4)
+    tier1 = dict(global_cells=32, num_levels=3, brick_dim=4, overlap=overlap)
     modes = {
         "seed": {},
         "full": dict(halo_resident=True, fuse_kernels=True, batch_ranks=True),

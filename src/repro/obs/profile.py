@@ -22,6 +22,31 @@ from repro.obs.chrome_trace import write_chrome_trace
 from repro.obs.metrics import solve_metrics
 from repro.obs.tracer import Tracer
 
+#: root spans that represent blocking on halo completion: a whole
+#: synchronous exchange, or the split-phase wait of an overlapped one
+_WAIT_SPAN_NAMES = ("exchange", "exchange.finish")
+
+
+def wait_fraction(tracer: Tracer) -> tuple[float, float]:
+    """``(wait_s, fraction)`` of V-cycle wall time blocked on halos.
+
+    Sums the durations of :data:`_WAIT_SPAN_NAMES` spans inside the
+    ``vcycle`` windows and divides by total V-cycle time.  In overlap
+    mode the ``exchange.begin`` posting time is deliberately excluded —
+    it runs concurrently with interior compute and is not a wait.
+    """
+    windows = tracer.find("vcycle")
+    total = sum(w.duration for w in windows)
+    if total <= 0.0:
+        return 0.0, 0.0
+    waits = [s for s in tracer.spans if s.name in _WAIT_SPAN_NAMES]
+    wait = sum(
+        s.duration
+        for s in waits
+        if any(w.start <= s.start and s.end <= w.end for w in windows)
+    )
+    return wait, wait / total
+
 
 @dataclass
 class ProfileReport:
@@ -35,6 +60,12 @@ class ProfileReport:
     rows: list[dict] = field(repr=False)
     machine_name: str | None
     metrics: dict = field(repr=False)
+    #: seconds the V-cycles spent waiting on halo completion — the
+    #: synchronous ``exchange`` spans plus the split-phase
+    #: ``exchange.finish`` waits (the overlap path's residual blocking)
+    wait_s: float = 0.0
+    #: ``wait_s`` as a share of total ``vcycle`` wall time
+    wait_fraction: float = 0.0
 
     def render(self) -> str:
         """The full human-readable profile report."""
@@ -47,6 +78,9 @@ class ProfileReport:
             f"  trace: {len(self.tracer.spans)} spans, "
             f"{len(self.tracer.instants)} instants, "
             f"coverage {self.coverage:.1%} of the solve span",
+            f"  wait fraction: {self.wait_fraction:.1%} of V-cycle time "
+            f"blocked on halo completion ({self.wait_s:.6g}s in "
+            f"exchange/exchange.finish)",
             "",
             render_measured_vs_model(self.rows, self.machine_name),
             "",
@@ -72,6 +106,8 @@ class ProfileReport:
             "wallclock_s": self.wallclock_s,
             "coverage": self.coverage,
             "machine": self.machine_name,
+            "wait_s": self.wait_s,
+            "wait_fraction": self.wait_fraction,
             "rows": [
                 {
                     "level": r["level"],
@@ -121,6 +157,7 @@ def profile_solve(
     rows = measured_vs_model_rows(
         tracer, config, machine, max(result.num_vcycles, 1)
     )
+    wait_s, wait_frac = wait_fraction(tracer)
     report = ProfileReport(
         config=config,
         result=result,
@@ -132,6 +169,8 @@ def profile_solve(
         metrics=solve_metrics(
             result.recorder, tracer, agglomerator=solver.agglomerator
         ).snapshot(),
+        wait_s=wait_s,
+        wait_fraction=wait_frac,
     )
     if trace_path is not None:
         write_chrome_trace(
