@@ -61,23 +61,20 @@ def test_agglomeration_strong_scaling(benchmark, machine):
 # ----------------------------------------------------------------------
 
 def test_in_solver_agglomeration_identity_and_traffic():
-    import json
-    import os
-    import pathlib
     import time
 
     import numpy as np
 
-    from benchmarks.conftest import RESULTS_DIR
+    from benchmarks._runner import QUICK as quick
+    from benchmarks._runner import pick, publish_entry
     from repro.gmg import GMGSolver, SolverConfig
     from repro.harness.agglomeration import AgglomeratedTimedSolve
     from repro.harness.vcycle_sim import TimedSolve, WorkloadConfig
     from repro.machines.specs import MACHINES
-    from repro.obs.ledger import LedgerEntry, PerfLedger
+    from repro.obs.ledger import LedgerEntry
     from repro.obs.metrics import solve_metrics
 
-    quick = bool(os.environ.get("REPRO_BENCH_QUICK"))
-    rounds = 2 if quick else 5
+    rounds = pick(5, 2)
     problem = dict(
         global_cells=32, num_levels=4, brick_dim=4, max_smooths=6,
         bottom_smooths=20, max_vcycles=8, rank_dims=(2, 2, 2),
@@ -197,15 +194,4 @@ def test_in_solver_agglomeration_identity_and_traffic():
     ]
     report("agglomeration_in_solver", "\n".join(lines) + "\n")
 
-    blob = json.dumps(entry.to_json(), indent=2, sort_keys=True) + "\n"
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_pr5.json").write_text(blob)
-    repo_root = pathlib.Path(__file__).resolve().parent.parent
-    (repo_root / "BENCH_pr5.json").write_text(blob)
-    if os.environ.get("REPRO_BENCH_RECORD"):
-        from datetime import datetime, timezone
-
-        entry.recorded_at = datetime.now(timezone.utc).isoformat(
-            timespec="seconds"
-        )
-        PerfLedger(RESULTS_DIR / "ledger").record(entry)
+    publish_entry("BENCH_pr5.json", entry)

@@ -24,14 +24,16 @@ Set ``REPRO_BENCH_QUICK=1`` to cut rounds for smoke runs.
 
 from __future__ import annotations
 
-import json
-import os
-import pathlib
-import time
-
 import numpy as np
 
-from benchmarks.conftest import RESULTS_DIR, report
+from benchmarks._runner import (
+    QUICK,
+    interleaved_best,
+    pick,
+    publish_entry,
+    write_bench_json,
+)
+from benchmarks.conftest import report
 from repro.bricks import BrickGrid, BrickedArray, gather_extended
 from repro.bricks.batch import BatchedGrid
 from repro.bricks.halo_plan import offset_plan_for
@@ -39,11 +41,10 @@ from repro.dsl.codegen import compile_stencil
 from repro.dsl.library import APPLY_OP, FUSED_SMOOTH_RESIDUAL, SMOOTH_RESIDUAL
 from repro.gmg import GMGSolver, SolverConfig
 
-QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
 #: interleaved rounds (best-of) for micro / end-to-end sections
-MICRO_ROUNDS = 3 if QUICK else 9
-MICRO_INNER = 5 if QUICK else 20
-SOLVE_ROUNDS = 2 if QUICK else 6
+MICRO_ROUNDS = pick(9, 3)
+MICRO_INNER = pick(20, 5)
+SOLVE_ROUNDS = pick(6, 2)
 
 #: the tier-1 model problem (ROADMAP): 32^3, three levels, B = 4
 TIER1 = dict(global_cells=32, num_levels=3, brick_dim=4)
@@ -61,19 +62,6 @@ FACE_OFFSETS = (
 
 #: accumulated across the test functions; flushed by the end-to-end test
 _RESULTS: dict = {"micro": {}}
-
-
-def _interleaved_best(cases: dict, rounds: int, inner: int = 1) -> dict:
-    """Best wallclock seconds per case over round-robin rounds."""
-    best = {name: float("inf") for name in cases}
-    for _ in range(rounds):
-        for name, fn in cases.items():
-            t0 = time.perf_counter()
-            for _ in range(inner):
-                fn()
-            dt = (time.perf_counter() - t0) / inner
-            best[name] = min(best[name], dt)
-    return best
 
 
 def _tier1_grid() -> BrickGrid:
@@ -104,7 +92,7 @@ def test_micro_gather_vs_compute():
     ws_seed: dict = {}
     ws_engine: dict = {}
 
-    best = _interleaved_best(
+    best = interleaved_best(
         {
             "gather_extended": lambda: gather_extended(x, 1),
             "offset_plan_gather": lambda: plan.gather(x.data),
@@ -147,7 +135,7 @@ def test_micro_fused_vs_unfused():
         op.apply(seed_fields, CONSTS, ws_a)
         tail.apply(seed_fields, CONSTS, ws_a)
 
-    best = _interleaved_best(
+    best = interleaved_best(
         {
             "staged_seed": staged_seed,
             "fused_engine": lambda: fused.apply(engine_fields, CONSTS, ws_b),
@@ -194,7 +182,7 @@ def test_micro_batched_vs_looped():
         for f, ws in zip(per_rank, workspaces):
             kernel.apply(f, CONSTS, ws)
 
-    best = _interleaved_best(
+    best = interleaved_best(
         {
             "rank_loop": looped,
             "batched": lambda: kernel.apply(stacked_fields, CONSTS, ws_stacked),
@@ -225,7 +213,7 @@ def test_end_to_end_engine_speedup():
         label: solve(label, flags)
         for label, flags in {"seed": {}, **ENGINE_MODES}.items()
     }
-    best = _interleaved_best(cases, SOLVE_ROUNDS)
+    best = interleaved_best(cases, SOLVE_ROUNDS)
 
     for name in ENGINE_MODES:
         assert histories[name] == histories["seed"], name
@@ -262,27 +250,10 @@ def test_end_to_end_engine_speedup():
         "micro": _RESULTS["micro"],
         "bit_identical_histories": True,
     }
-    blob = json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_pr2.json").write_text(blob)
-    repo_root = pathlib.Path(__file__).resolve().parent.parent
-    (repo_root / "BENCH_pr2.json").write_text(blob)
-
+    write_bench_json("BENCH_pr2.json", payload)
     # ledger-driven emission: the same run as a schema-versioned entry,
     # optionally appended to the committed perf history
-    from repro.obs.ledger import PerfLedger, entry_from_bench_payload
-
-    entry = entry_from_bench_payload(payload)
-    entry_blob = json.dumps(entry.to_json(), indent=2, sort_keys=True) + "\n"
-    (RESULTS_DIR / "BENCH_pr4.json").write_text(entry_blob)
-    (repo_root / "BENCH_pr4.json").write_text(entry_blob)
-    if os.environ.get("REPRO_BENCH_RECORD"):
-        from datetime import datetime, timezone
-
-        entry.recorded_at = datetime.now(timezone.utc).isoformat(
-            timespec="seconds"
-        )
-        PerfLedger(RESULTS_DIR / "ledger").record(entry)
+    publish_entry("BENCH_pr4.json", payload)
 
     # the acceptance target is 2x; assert a noise-tolerant floor so a
     # loaded CI runner does not flake the suite

@@ -23,18 +23,15 @@ run to ``benchmarks/results/ledger/overlap.jsonl``;
 
 from __future__ import annotations
 
-import json
-import os
-import pathlib
 import time
 
-from benchmarks.conftest import RESULTS_DIR, report
+from benchmarks._runner import QUICK, pick, publish_entry, write_bench_json
+from benchmarks.conftest import report
 from repro.gmg import GMGSolver, SolverConfig
 from repro.obs.rank import overlap_report
 from repro.obs.tracer import Tracer
 
-QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
-ROUNDS = 2 if QUICK else 5
+ROUNDS = pick(5, 2)
 
 #: the tier-1 distributed problem; brick dimension is the sweep axis
 BASE = dict(
@@ -131,24 +128,8 @@ def test_overlap_sweep():
         },
         "bit_identical_histories": True,
     }
-    blob = json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    RESULTS_DIR.mkdir(exist_ok=True)
-    repo_root = pathlib.Path(__file__).resolve().parent.parent
-
-    from repro.obs.ledger import PerfLedger, entry_from_bench_payload
-
-    entry = entry_from_bench_payload(payload)
-    entry_blob = json.dumps(entry.to_json(), indent=2, sort_keys=True) + "\n"
-    (RESULTS_DIR / "BENCH_pr7.json").write_text(entry_blob)
-    (repo_root / "BENCH_pr7.json").write_text(entry_blob)
-    (RESULTS_DIR / "overlap_raw.json").write_text(blob)
-    if os.environ.get("REPRO_BENCH_RECORD"):
-        from datetime import datetime, timezone
-
-        entry.recorded_at = datetime.now(timezone.utc).isoformat(
-            timespec="seconds"
-        )
-        PerfLedger(RESULTS_DIR / "ledger").record(entry)
+    publish_entry("BENCH_pr7.json", payload)
+    write_bench_json("overlap_raw.json", payload, root=False)
 
 
 def test_model_before_after_critical_path():

@@ -22,17 +22,15 @@ Set ``REPRO_BENCH_QUICK=1`` to cut rounds for smoke runs.
 
 from __future__ import annotations
 
-import json
-import os
 import statistics
 import time
 
-from benchmarks.conftest import RESULTS_DIR, report
+from benchmarks._runner import pick, write_bench_json
+from benchmarks.conftest import report
 from repro.gmg import GMGSolver, SolverConfig
 from repro.obs import NullTracer, Tracer
 
-QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
-ROUNDS = 3 if QUICK else 10
+ROUNDS = pick(10, 3)
 
 #: the tier-1 model problem (ROADMAP): 32^3, three levels, B = 4
 TIER1 = dict(global_cells=32, num_levels=3, brick_dim=4)
@@ -89,10 +87,7 @@ def test_trace_overhead(benchmark):
         "disabled_overhead_budget": 0.02,
         "disabled_overhead_ceiling": DISABLED_OVERHEAD_CEILING,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "trace_overhead.json").write_text(
-        json.dumps(artifact, indent=1)
-    )
+    write_bench_json("trace_overhead.json", artifact, root=False)
 
     lines = [
         "tracer overhead on the tier-1 solve "

@@ -256,6 +256,147 @@ def _cmd_commviz(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+    import os
+    import pathlib
+
+    from repro.perf.sweep import SweepConfig, run_sweep
+
+    config = SweepConfig.from_file(args.config)
+    quick = args.quick or bool(os.environ.get("REPRO_BENCH_QUICK"))
+    n_cells = 1
+    for values in config.axes.values():
+        n_cells *= len(values)
+    print(
+        f"sweep '{config.name}': expanding "
+        + " x ".join(f"{k}[{len(v)}]" for k, v in config.axes.items())
+        + f" -> {n_cells} cells"
+        + (" (quick)" if quick else "")
+    )
+    report = run_sweep(
+        config, quick=quick, rounds=args.rounds, progress=print
+    )
+    print()
+    print(report.render())
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    stem = f"sweep_{config.name}"
+    txt_path = out / f"{stem}.txt"
+    txt_path.write_text(report.render())
+    json_path = pathlib.Path(args.json) if args.json else out / f"{stem}.json"
+    with open(json_path, "w") as fh:
+        json.dump(report.to_json(), fh, indent=1, sort_keys=True)
+    html_path = pathlib.Path(args.html) if args.html else out / f"{stem}.html"
+    html_path.write_text(report.to_html())
+    print(f"wrote {txt_path}, {json_path}, {html_path}")
+
+    entries = report.ledger_entries()
+    if args.update:
+        for entry in entries:
+            _record_sweep_entry(entry, args.ledger)
+        print(
+            f"gate the matrix with: repro perfgate --ledger {args.ledger} "
+            f"--series 'sweep_{config.name}.*' --noise-scaled"
+        )
+    if not report.ok:
+        bad = [r.cell.label for r in report.cells if not r.ok]
+        print(f"sweep FAILED: cells ended badly: {bad}")
+        return 1
+    return 0
+
+
+def _series_gate(args, ledger) -> int:
+    """Gate the newest entry of every matching series (perfgate --series)."""
+    import fnmatch
+
+    from repro.obs.ledger import (
+        baseline_from_entries,
+        compare_metrics,
+        metric_dispersions,
+        noise_thresholds,
+    )
+
+    patterns = [p.strip() for p in args.series.split(",") if p.strip()]
+    names = sorted(
+        name
+        for name in ledger.benchmarks()
+        if any(fnmatch.fnmatch(name, p) for p in patterns)
+    )
+    if not names:
+        print(f"no ledger series match {patterns}")
+        return 1
+    exit_code = 0
+    for name in names:
+        entries = ledger.entries(name)
+        if len(entries) < args.window + 1:
+            print(
+                f"{name}: {len(entries)} entries < window+1 "
+                f"({args.window + 1}) — not gating"
+            )
+            continue
+        candidate = entries[-1]
+        history = entries[:-1][-args.window:]
+        metrics = dict(candidate.metrics)
+        if args.inject_slowdown:
+            factor = 1.0 + args.inject_slowdown / 100.0
+            metrics = {k: v * factor for k, v in metrics.items()}
+        thresholds = None
+        if args.noise_scaled:
+            thresholds = noise_thresholds(
+                metric_dispersions(history, window=args.window),
+                floor=args.threshold,
+            )
+        result = compare_metrics(
+            baseline_from_entries(history),
+            metrics,
+            name,
+            threshold=args.threshold,
+            thresholds=thresholds,
+        )
+        print(result.render())
+        if not result.ok and not args.warn_only:
+            exit_code = 1
+    if args.inject_slowdown:
+        print(f"(candidates carried a synthetic "
+              f"{args.inject_slowdown:g}% slowdown)")
+    if exit_code == 0 and args.warn_only:
+        print("(warn-only: regressions reported but not gating)")
+    return exit_code
+
+
+def _list_ledger(args, ledger) -> int:
+    """Inventory the ledger for CI logs (perfgate --list)."""
+    from repro.obs.ledger import metric_dispersions
+
+    names = ledger.benchmarks()
+    if not names:
+        print(f"no ledger series under {ledger.root}")
+        return 0
+    print(
+        f"performance ledger at {ledger.root} "
+        f"(min-of-{args.window} baselines):"
+    )
+    print(
+        f"  {'series':<44}{'entries':>8}{'metrics':>8}{'noise':>7}"
+        f"  baseline   last recorded"
+    )
+    for name in names:
+        entries = ledger.entries(name)
+        disp = metric_dispersions(entries, window=args.window)
+        rels = sorted(d.rel_iqr for d in disp.values())
+        median_rel = rels[len(rels) // 2] if rels else 0.0
+        armed = len(entries) >= args.window
+        status = "armed" if armed else f"n<{args.window}"
+        last = entries[-1].recorded_at or "-" if entries else "-"
+        print(
+            f"  {name:<44}{len(entries):>8}{len(disp):>8}"
+            f"{median_rel * 100:>6.1f}%  {status:<9}  {last}"
+        )
+    return 0
+
+
 def _cmd_perfgate(args: argparse.Namespace) -> int:
     from datetime import datetime, timezone
 
@@ -265,9 +406,15 @@ def _cmd_perfgate(args: argparse.Namespace) -> int:
         compare_metrics,
         load_candidate,
         measure_hotpath,
+        metric_dispersions,
+        noise_thresholds,
     )
 
     ledger = PerfLedger(args.ledger)
+    if args.list:
+        return _list_ledger(args, ledger)
+    if args.series:
+        return _series_gate(args, ledger)
     if args.candidate:
         candidate = load_candidate(args.candidate)
         print(f"candidate: {args.candidate} ({len(candidate.metrics)} metrics)")
@@ -306,8 +453,15 @@ def _cmd_perfgate(args: argparse.Namespace) -> int:
         )
     else:
         baseline = ledger.baseline_metrics(benchmark, window=args.window)
+        thresholds = None
+        if args.noise_scaled:
+            thresholds = noise_thresholds(
+                metric_dispersions(history, window=args.window),
+                floor=args.threshold,
+            )
         result = compare_metrics(
-            baseline, candidate.metrics, benchmark, threshold=args.threshold
+            baseline, candidate.metrics, benchmark,
+            threshold=args.threshold, thresholds=thresholds,
         )
         print(result.render())
         if not result.ok:
@@ -461,12 +615,25 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_autotune(args: argparse.Namespace) -> int:
-    from repro.harness.autotune import autotune, render_tuning
+    from repro.harness.autotune import autotune, render_tuning, sweep_prior
     from repro.machines import MACHINES
 
+    prior = None
+    if args.from_ledger:
+        prior = sweep_prior(args.from_ledger, prefix=args.prior_prefix)
+        if prior:
+            measured = ", ".join(
+                f"B{b}={ms:.1f}ms" for b, ms in sorted(prior.items())
+            )
+            print(f"sweep-ledger prior: {measured}")
+        else:
+            print(
+                f"no {args.prior_prefix}* series under {args.from_ledger} "
+                "pin a brick_dim; running pure-model"
+            )
     machines = list(MACHINES) if args.machine == "all" else [args.machine]
     for name in machines:
-        print(render_tuning(autotune(MACHINES[name])))
+        print(render_tuning(autotune(MACHINES[name], prior=prior)))
     return 0
 
 
@@ -592,6 +759,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
         choices=["Perlmutter", "Frontier", "Sunspot", "all"],
     )
+    tune.add_argument(
+        "--from-ledger", metavar="DIR",
+        help="bias the model ranking with measured sweep history from "
+             "this ledger directory (e.g. benchmarks/results/ledger)",
+    )
+    tune.add_argument(
+        "--prior-prefix", default="sweep_", metavar="PREFIX",
+        help="ledger series prefix harvested for the prior (default sweep_)",
+    )
     tune.set_defaults(func=_cmd_autotune)
 
     perfgate = sub.add_parser(
@@ -638,7 +814,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure the hot path under the split-phase overlap "
              "schedule (gated against the same baseline series)",
     )
+    perfgate.add_argument(
+        "--list", action="store_true",
+        help="print every ledger series with entry counts, baseline "
+             "status, and measured dispersion, then exit (CI inventory)",
+    )
+    perfgate.add_argument(
+        "--series", metavar="PATTERNS",
+        help="gate the newest entry of every series matching the comma-"
+             "separated glob patterns (e.g. 'sweep_smoke.*') against "
+             "the window of entries before it, instead of measuring "
+             "the hot path",
+    )
+    perfgate.add_argument(
+        "--noise-scaled", action="store_true",
+        help="scale each metric's threshold by its measured historical "
+             "dispersion: a regression must clear "
+             "max(threshold, 2 x rel-IQR), not a fixed percentage",
+    )
     perfgate.set_defaults(func=_cmd_perfgate)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="expand a declarative config matrix (brick x engine x "
+             "overlap x agglomeration x machine x scenario), run every "
+             "cell with warmup + interleaved rounds, and report "
+             "variance-aware statistics with per-axis delta attribution",
+    )
+    sweep.add_argument(
+        "--config", required=True, metavar="FILE",
+        help="sweep config (JSON; see benchmarks/sweeps/)",
+    )
+    sweep.add_argument(
+        "--quick", action="store_true",
+        help="use the config's quick_rounds (also via REPRO_BENCH_QUICK=1)",
+    )
+    sweep.add_argument(
+        "--rounds", type=int, default=None,
+        help="override the config's repetition rounds",
+    )
+    sweep.add_argument(
+        "--out", default="benchmarks/results", metavar="DIR",
+        help="directory for the txt/json/html report "
+             "(default benchmarks/results)",
+    )
+    sweep.add_argument(
+        "--json", metavar="FILE",
+        help="write the JSON report here instead of <out>/sweep_<name>.json",
+    )
+    sweep.add_argument(
+        "--html", metavar="FILE",
+        help="write the HTML report here instead of <out>/sweep_<name>.html",
+    )
+    sweep.add_argument(
+        "--ledger", default="benchmarks/results/ledger", metavar="DIR",
+        help="ledger directory for --update (default benchmarks/results/ledger)",
+    )
+    sweep.add_argument(
+        "--update", action="store_true",
+        help="append every cell's entry to its sweep_<name>.<cell> "
+             "ledger series",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     faultsweep = sub.add_parser(
         "faultsweep",

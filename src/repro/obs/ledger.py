@@ -16,9 +16,18 @@ noise-aware in two ways:
 * the baseline for each metric is the **min over the last k entries**
   (min-of-k): the fastest observed time is the least noisy estimate of
   what the machine can do, and a window keeps one ancient outlier from
-  gating forever;
+  gating forever — and the min is **robust**: window values flagged by
+  the MAD outlier test (:func:`repro.perf.stats.mad_outliers`) are
+  excluded, so one corrupt or freak-fast entry cannot set an
+  impossible bar;
 * a candidate only *regresses* when it exceeds the baseline by a
-  **relative threshold** (default 15%), absorbing run-to-run jitter.
+  **relative threshold** (default 15%), absorbing run-to-run jitter;
+* with :func:`metric_dispersions` / :func:`noise_thresholds` the
+  threshold becomes **noise-scaled**: each metric's tolerated slowdown
+  is ``max(floor, scale * rel_IQR)`` measured from its own history, so
+  a regression must clear the series' measured noise floor rather than
+  a fixed percentage — quiet metrics gate tightly, noisy ones do not
+  flake.
 
 ``python -m repro perfgate`` wraps this into an exit code: non-zero on
 regression (unless ``--warn-only``), zero on a clean run — the CI
@@ -40,6 +49,11 @@ DEFAULT_THRESHOLD = 0.15
 
 #: default min-of-k window for the per-metric baseline
 DEFAULT_WINDOW = 3
+
+#: default multiplier on a metric's historical rel-IQR when the gate
+#: runs noise-scaled: the tolerated slowdown is
+#: ``max(floor, NOISE_SCALE * rel_iqr)``
+NOISE_SCALE = 2.0
 
 
 @dataclass
@@ -136,16 +150,102 @@ class PerfLedger:
         return sorted(p.stem for p in self.root.glob("*.jsonl"))
 
     def baseline_metrics(
-        self, benchmark: str, window: int = DEFAULT_WINDOW
+        self,
+        benchmark: str,
+        window: int = DEFAULT_WINDOW,
+        robust: bool = True,
     ) -> dict[str, float]:
-        """Per-metric min over the last ``window`` entries (min-of-k)."""
+        """Per-metric min over the last ``window`` entries (min-of-k).
+
+        With ``robust`` (the default) the min skips window values the
+        MAD test flags as outliers, so one corrupt entry — a truncated
+        run that recorded 5 ms against a 100 ms series — cannot poison
+        the baseline and gate every honest candidate as a regression.
+        """
         recent = self.entries(benchmark)[-max(window, 1):]
-        best: dict[str, float] = {}
-        for entry in recent:
-            for name, value in entry.metrics.items():
-                if name not in best or value < best[name]:
-                    best[name] = value
-        return best
+        return baseline_from_entries(recent, robust=robust)
+
+
+def baseline_from_entries(
+    entries: list[LedgerEntry], robust: bool = True
+) -> dict[str, float]:
+    """Min-of-k over already-selected entries (see ``baseline_metrics``)."""
+    series: dict[str, list[float]] = {}
+    for entry in entries:
+        for name, value in entry.metrics.items():
+            series.setdefault(name, []).append(value)
+    best: dict[str, float] = {}
+    for name, values in series.items():
+        kept = values
+        if robust:
+            from repro.perf.stats import mad_outliers
+
+            mask = mad_outliers(values)
+            kept = [v for v, bad in zip(values, mask) if not bad] or values
+        best[name] = min(kept)
+    return best
+
+
+@dataclass(frozen=True)
+class MetricDispersion:
+    """One metric's spread across a ledger window (cross-run noise)."""
+
+    name: str
+    count: int
+    median: float
+    iqr: float
+    rel_iqr: float
+    #: values the MAD test flagged — excluded from the robust baseline
+    outliers: tuple[float, ...] = ()
+
+
+def metric_dispersions(
+    entries: list[LedgerEntry], window: int = DEFAULT_WINDOW
+) -> dict[str, MetricDispersion]:
+    """Per-metric dispersion over the last ``window`` entries.
+
+    The rel-IQR here is the measured run-to-run noise floor of each
+    metric — what :func:`noise_thresholds` scales the gate by.
+    """
+    recent = entries[-max(window, 1):]
+    series: dict[str, list[float]] = {}
+    for entry in recent:
+        for name, value in entry.metrics.items():
+            series.setdefault(name, []).append(value)
+    out: dict[str, MetricDispersion] = {}
+    for name, values in series.items():
+        from repro.perf.stats import SampleStats, mad_outliers
+
+        stats = SampleStats.from_samples(values)
+        flagged = tuple(
+            v for v, bad in zip(values, mad_outliers(values)) if bad
+        )
+        out[name] = MetricDispersion(
+            name=name,
+            count=len(values),
+            median=stats.median,
+            iqr=stats.iqr,
+            rel_iqr=stats.rel_iqr,
+            outliers=flagged,
+        )
+    return out
+
+
+def noise_thresholds(
+    dispersions: dict[str, MetricDispersion],
+    floor: float = DEFAULT_THRESHOLD,
+    scale: float = NOISE_SCALE,
+) -> dict[str, float]:
+    """Per-metric tolerated slowdown: ``max(floor, scale * rel_iqr)``.
+
+    A metric whose history is quiet gates at the floor; a noisy one
+    gets a proportionally wider band, so the gate's false-positive
+    rate stays flat across metrics instead of tracking their jitter.
+    """
+    return {
+        name: max(floor, scale * d.rel_iqr)
+        for name, d in dispersions.items()
+    }
 
 
 # ----------------------------------------------------------------------
@@ -160,6 +260,9 @@ class MetricComparison:
     candidate: float | None
     ratio: float | None  # candidate / baseline
     status: str  # ok | regression | improvement | new | missing
+    #: the tolerated relative slowdown this row was judged against
+    #: (differs per metric when the gate runs noise-scaled)
+    threshold: float | None = None
 
 
 @dataclass
@@ -169,6 +272,8 @@ class ComparisonResult:
     benchmark: str
     threshold: float
     rows: list[MetricComparison]
+    #: True when per-metric noise-scaled thresholds were applied
+    noise_scaled: bool = False
 
     @property
     def regressions(self) -> list[MetricComparison]:
@@ -179,18 +284,24 @@ class ComparisonResult:
         return not self.regressions
 
     def render(self) -> str:
+        mode = (
+            f"noise-scaled thresholds, floor {self.threshold:.0%}"
+            if self.noise_scaled
+            else f"threshold {self.threshold:.0%}"
+        )
         lines = [
-            f"perf gate: {self.benchmark} "
-            f"(threshold {self.threshold:.0%}, min-of-k baseline)",
+            f"perf gate: {self.benchmark} ({mode}, min-of-k baseline)",
             f"  {'metric':<44}{'baseline':>12}{'candidate':>12}"
-            f"{'ratio':>8}  status",
+            f"{'ratio':>8}{'thr':>7}  status",
         ]
         for r in self.rows:
             base = f"{r.baseline:.2f}" if r.baseline is not None else "-"
             cand = f"{r.candidate:.2f}" if r.candidate is not None else "-"
             ratio = f"{r.ratio:.3f}" if r.ratio is not None else "-"
+            thr = f"{r.threshold:.0%}" if r.threshold is not None else "-"
             lines.append(
-                f"  {r.name:<44}{base:>12}{cand:>12}{ratio:>8}  {r.status}"
+                f"  {r.name:<44}{base:>12}{cand:>12}{ratio:>8}{thr:>7}"
+                f"  {r.status}"
             )
         verdict = (
             "OK — no regressions"
@@ -206,6 +317,7 @@ def compare_metrics(
     candidate: dict[str, float],
     benchmark: str = "",
     threshold: float = DEFAULT_THRESHOLD,
+    thresholds: dict[str, float] | None = None,
 ) -> ComparisonResult:
     """Gate ``candidate`` against ``baseline`` (both lower-is-better).
 
@@ -213,6 +325,11 @@ def compare_metrics(
     and improves when ``candidate < baseline * (1 - threshold)``;
     in between is ``ok`` (noise).  Metrics only one side has are
     reported (``new`` / ``missing``) but never gate.
+
+    ``thresholds`` (typically from :func:`noise_thresholds`) overrides
+    the flat threshold per metric, but never below it: the flat value
+    acts as the floor, so a zero-dispersion history cannot produce a
+    hair-trigger gate.
     """
     if threshold < 0:
         raise ValueError(f"threshold must be non-negative: {threshold}")
@@ -225,15 +342,23 @@ def compare_metrics(
         if c is None:
             rows.append(MetricComparison(name, b, None, None, "missing"))
             continue
+        thr = threshold
+        if thresholds is not None:
+            thr = max(threshold, thresholds.get(name, threshold))
         ratio = c / b if b > 0 else float("inf") if c > 0 else 1.0
-        if ratio > 1.0 + threshold:
+        if ratio > 1.0 + thr:
             status = "regression"
-        elif ratio < 1.0 - threshold:
+        elif ratio < 1.0 - thr:
             status = "improvement"
         else:
             status = "ok"
-        rows.append(MetricComparison(name, b, c, ratio, status))
-    return ComparisonResult(benchmark=benchmark, threshold=threshold, rows=rows)
+        rows.append(MetricComparison(name, b, c, ratio, status, thr))
+    return ComparisonResult(
+        benchmark=benchmark,
+        threshold=threshold,
+        rows=rows,
+        noise_scaled=thresholds is not None,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,143 @@
+"""Variance-aware sample statistics for benchmark timing series.
+
+The repo's first-generation benches reported bare min-of-k: the fastest
+observed wallclock is the least noisy estimate of what the machine can
+do, but it says nothing about *how* noisy the series was, so a reader
+cannot tell a solid 2% win from jitter.  This module computes the
+robust summary every sweep cell and ledger series carries instead:
+
+* **quartile statistics** — min / median / IQR, so the central tendency
+  and the spread are both on the table;
+* **relative dispersion** — IQR over median, the scale-free noise
+  figure the noise-scaled regression gate consumes (a regression must
+  clear the *measured* noise floor, not a fixed percentage);
+* **outlier flagging** — Tukey fences for in-run samples, and a
+  MAD-based test (:func:`mad_outliers`) for the short cross-run windows
+  the ledger baseline uses, where a single GC pause or cold cache must
+  not poison the min-of-k baseline.
+
+Everything here is pure ``statistics``-module arithmetic on small
+lists — no numpy dependency, so the ledger tooling stays importable in
+a stripped environment.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+#: Tukey fence multiplier: samples outside ``[q1 - k*IQR, q3 + k*IQR]``
+#: are flagged as outliers.
+TUKEY_FENCE = 1.5
+
+#: MAD z-score cutoff for the cross-run outlier test (3.5 is the
+#: standard Iglewicz–Hoaglin recommendation for small samples).
+MAD_CUTOFF = 3.5
+
+#: scale factor turning a MAD into a consistent stdev estimate for
+#: normal data.
+_MAD_SCALE = 1.4826
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Robust summary of one timing series (lower-is-better seconds/ms).
+
+    ``outliers`` holds the flagged sample values themselves (Tukey
+    fence) so reports can show *what* was discarded, not just a count;
+    the flagged samples still contribute to ``minimum`` — discarding is
+    the ledger baseline's job (:func:`mad_outliers`), not the in-run
+    summary's.
+    """
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    median: float
+    q1: float
+    q3: float
+    stdev: float
+    outliers: tuple[float, ...] = ()
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range — the robust spread measure."""
+        return self.q3 - self.q1
+
+    @property
+    def rel_iqr(self) -> float:
+        """IQR / median: the scale-free dispersion the gate consumes."""
+        return self.iqr / self.median if self.median > 0 else 0.0
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[float], fence: float = TUKEY_FENCE
+    ) -> "SampleStats":
+        """Summarise ``samples`` (at least one required)."""
+        values = [float(v) for v in samples]
+        if not values:
+            raise ValueError("need at least one sample")
+        if len(values) == 1:
+            v = values[0]
+            return cls(1, v, v, v, v, v, v, 0.0)
+        ordered = sorted(values)
+        q1, _, q3 = statistics.quantiles(ordered, n=4, method="inclusive")
+        iqr = q3 - q1
+        lo, hi = q1 - fence * iqr, q3 + fence * iqr
+        return cls(
+            count=len(values),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            mean=statistics.fmean(values),
+            median=statistics.median(ordered),
+            q1=q1,
+            q3=q3,
+            stdev=statistics.stdev(values),
+            outliers=tuple(v for v in ordered if v < lo or v > hi),
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "median": self.median,
+            "q1": self.q1,
+            "q3": self.q3,
+            "iqr": self.iqr,
+            "rel_iqr": self.rel_iqr,
+            "stdev": self.stdev,
+            "outliers": list(self.outliers),
+        }
+
+
+def mad_outliers(
+    values: Sequence[float], cutoff: float = MAD_CUTOFF
+) -> list[bool]:
+    """Per-value outlier mask via the modified z-score (median/MAD).
+
+    Robust down to the ledger's 3-entry baseline windows where
+    quartile fences are meaningless: with values ``[100, 101, 5]`` the
+    median is 100, the MAD is 1, and the 5 is flagged at |z| ≈ 142.
+    A zero MAD (all-but-one identical values) falls back to flagging
+    nothing — there is no scale to judge against.  Fewer than three
+    values never flag: a pair offers no evidence of which one is wrong.
+    """
+    vals = [float(v) for v in values]
+    if len(vals) < 3:
+        return [False] * len(vals)
+    med = statistics.median(vals)
+    mad = statistics.median(abs(v - med) for v in vals)
+    if mad <= 0.0:
+        return [False] * len(vals)
+    return [abs(v - med) / (_MAD_SCALE * mad) > cutoff for v in vals]
+
+
+def relative_dispersion(values: Sequence[float]) -> float:
+    """IQR / median of ``values`` (0 for degenerate series)."""
+    if len(values) < 2:
+        return 0.0
+    return SampleStats.from_samples(values).rel_iqr

@@ -12,6 +12,8 @@ from repro.obs.ledger import (
     entry_from_bench_payload,
     entry_from_profile,
     load_candidate,
+    metric_dispersions,
+    noise_thresholds,
 )
 
 PAYLOAD = {
@@ -93,6 +95,109 @@ class TestPerfLedger:
         assert base["end_to_end_ms.seed"] == 90.0
         base1 = ledger.baseline_metrics("b", window=1)
         assert base1["end_to_end_ms.seed"] == 110.0
+
+
+class TestRobustBaseline:
+    def test_injected_outlier_does_not_poison_min(self, tmp_path):
+        """A corrupt 5 ms entry against a ~100 ms series must not set
+        the bar: every honest ~100 ms candidate would gate forever."""
+        ledger = PerfLedger(tmp_path / "ledger")
+        for value in (100.0, 101.0, 5.0, 99.5):
+            ledger.record(LedgerEntry("b", {"wall_ms": value}))
+        base = ledger.baseline_metrics("b", window=4)
+        assert base["wall_ms"] == 99.5
+        # the non-robust form keeps the raw min, for comparison
+        raw = ledger.baseline_metrics("b", window=4, robust=False)
+        assert raw["wall_ms"] == 5.0
+
+    def test_all_flagged_falls_back_to_raw_min(self, tmp_path):
+        """Degenerate windows (everything 'an outlier' relative to an
+        empty consensus) fall back to the plain min, never to nothing."""
+        ledger = PerfLedger(tmp_path / "ledger")
+        for value in (100.0, 100.0):
+            ledger.record(LedgerEntry("b", {"wall_ms": value}))
+        assert ledger.baseline_metrics("b")["wall_ms"] == 100.0
+
+    def test_honest_spread_unaffected(self, tmp_path):
+        """Ordinary run-to-run jitter is not outlier-flagged; robust
+        and raw baselines agree on a well-behaved series."""
+        ledger = PerfLedger(tmp_path / "ledger")
+        for value in (90.0, 120.0, 110.0):
+            ledger.record(LedgerEntry("b", {"wall_ms": value}))
+        assert ledger.baseline_metrics("b")["wall_ms"] == 90.0
+
+
+class TestNoiseScaledThresholds:
+    @staticmethod
+    def _entries(values, name="wall_ms"):
+        return [LedgerEntry("b", {name: v}) for v in values]
+
+    def test_dispersion_measures_the_window(self):
+        disp = metric_dispersions(
+            self._entries([100.0, 110.0, 90.0, 105.0]), window=4
+        )["wall_ms"]
+        assert disp.count == 4
+        assert disp.median == pytest.approx(102.5)
+        assert disp.rel_iqr > 0
+
+    def test_dispersion_reports_flagged_outliers(self):
+        disp = metric_dispersions(
+            self._entries([100.0, 101.0, 99.0, 5.0]), window=4
+        )["wall_ms"]
+        assert disp.outliers == (5.0,)
+
+    def test_quiet_metric_gates_at_floor(self):
+        disp = metric_dispersions(self._entries([100.0, 100.0, 100.0]))
+        thr = noise_thresholds(disp, floor=0.15)
+        assert thr["wall_ms"] == 0.15
+
+    def test_noisy_metric_widens_threshold(self):
+        disp = metric_dispersions(self._entries([100.0, 130.0, 80.0]))
+        thr = noise_thresholds(disp, floor=0.15, scale=2.0)
+        assert thr["wall_ms"] == pytest.approx(2.0 * disp["wall_ms"].rel_iqr)
+        assert thr["wall_ms"] > 0.15
+
+    def test_noisy_passes_quiet_fails_same_slowdown(self):
+        """The point of noise-scaling: a 25% slowdown is damning on a
+        quiet metric and unremarkable on one whose history swings 30%.
+        """
+        history = [
+            LedgerEntry("b", {"quiet_ms": 100.0, "noisy_ms": 100.0}),
+            LedgerEntry("b", {"quiet_ms": 101.0, "noisy_ms": 130.0}),
+            LedgerEntry("b", {"quiet_ms": 99.5, "noisy_ms": 75.0}),
+        ]
+        thresholds = noise_thresholds(
+            metric_dispersions(history, window=3), floor=0.15
+        )
+        from repro.obs.ledger import baseline_from_entries
+
+        base = baseline_from_entries(history)
+        candidate = {
+            "quiet_ms": base["quiet_ms"] * 1.25,
+            "noisy_ms": base["noisy_ms"] * 1.25,
+        }
+        result = compare_metrics(
+            base, candidate, "b", threshold=0.15, thresholds=thresholds
+        )
+        by_name = {r.name: r for r in result.rows}
+        assert by_name["quiet_ms"].status == "regression"
+        assert by_name["noisy_ms"].status == "ok"
+        assert by_name["noisy_ms"].threshold > by_name["quiet_ms"].threshold
+        assert result.noise_scaled
+        assert "noise-scaled" in result.render()
+
+    def test_flat_threshold_is_a_floor_not_a_default(self):
+        """Per-metric thresholds can only widen the gate, never tighten
+        it below the flat floor — zero dispersion is not a hair trigger.
+        """
+        result = compare_metrics(
+            {"a_ms": 100.0},
+            {"a_ms": 110.0},
+            threshold=0.15,
+            thresholds={"a_ms": 0.001},
+        )
+        assert result.rows[0].status == "ok"
+        assert result.rows[0].threshold == 0.15
 
 
 class TestCompare:
@@ -246,6 +351,92 @@ class TestPerfgateCommand:
         out = capsys.readouterr().out
         assert "no baseline" in out
         assert "1 recorded entries < min-of-3 window" in out
+
+
+class TestPerfgateSeries:
+    """``perfgate --series``: gate ledger series in place (the sweep
+    path — each matrix cell is a series; the newest entry is the
+    candidate, the preceding window the baseline)."""
+
+    @staticmethod
+    def _seed(tmp_path, values, benchmark="sweep_t.cell"):
+        ledger = PerfLedger(tmp_path / "ledger")
+        for v in values:
+            ledger.record(LedgerEntry(benchmark, {"wall_ms": v}))
+        return tmp_path / "ledger"
+
+    def test_clean_series_passes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ledger_dir = self._seed(tmp_path, [100.0, 101.0, 99.0, 100.5])
+        rc = main(["perfgate", "--ledger", str(ledger_dir),
+                   "--series", "sweep_t.*", "--noise-scaled"])
+        assert rc == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regressed_tail_fails(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ledger_dir = self._seed(tmp_path, [100.0, 101.0, 99.0, 150.0])
+        rc = main(["perfgate", "--ledger", str(ledger_dir),
+                   "--series", "sweep_t.*", "--noise-scaled"])
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_noise_scaling_absorbs_jitter_a_flat_gate_would_trip(
+        self, tmp_path, capsys
+    ):
+        """History with a 12% rel-IQR widens the gate to 24%: a
+        candidate 20% over the min-of-k baseline trips the flat 15%
+        gate but sits inside the measured noise band."""
+        values = [100.0, 112.0, 88.0, 88.0 * 1.20]
+        ledger_dir = self._seed(tmp_path, values)
+        from repro.cli import main
+
+        assert main(["perfgate", "--ledger", str(ledger_dir),
+                     "--series", "sweep_t.*"]) == 1
+        capsys.readouterr()
+        assert main(["perfgate", "--ledger", str(ledger_dir),
+                     "--series", "sweep_t.*", "--noise-scaled"]) == 0
+
+    def test_short_series_does_not_gate(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ledger_dir = self._seed(tmp_path, [100.0, 101.0])
+        rc = main(["perfgate", "--ledger", str(ledger_dir),
+                   "--series", "sweep_t.*"])
+        assert rc == 0
+        assert "not gating" in capsys.readouterr().out
+
+    def test_unmatched_pattern_is_an_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ledger_dir = self._seed(tmp_path, [100.0])
+        rc = main(["perfgate", "--ledger", str(ledger_dir),
+                   "--series", "nope_*"])
+        assert rc == 1
+        assert "no ledger series match" in capsys.readouterr().out
+
+    def test_inject_slowdown_trips_inverted_self_test(self, tmp_path):
+        from repro.cli import main
+
+        ledger_dir = self._seed(tmp_path, [100.0, 101.0, 99.0, 100.5])
+        rc = main(["perfgate", "--ledger", str(ledger_dir),
+                   "--series", "sweep_t.*", "--noise-scaled",
+                   "--inject-slowdown", "100"])
+        assert rc == 1
+
+    def test_list_shows_series_counts_and_noise(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ledger_dir = self._seed(tmp_path, [100.0, 110.0, 90.0, 105.0])
+        self._seed(tmp_path, [50.0], benchmark="sweep_t.other")
+        rc = main(["perfgate", "--ledger", str(ledger_dir), "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sweep_t.cell" in out and "sweep_t.other" in out
+        assert "armed" in out  # 4 entries > window: gateable
+        assert "n<" in out  # 1 entry: not yet a baseline
 
 
 class TestLoadCandidate:

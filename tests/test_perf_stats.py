@@ -1,0 +1,85 @@
+"""Variance-aware sample statistics behind the sweep and the gate."""
+
+import json
+
+import pytest
+
+from repro.perf.stats import (
+    SampleStats,
+    mad_outliers,
+    relative_dispersion,
+)
+
+
+class TestSampleStats:
+    def test_basic_summary(self):
+        s = SampleStats.from_samples([4.0, 1.0, 3.0, 2.0, 5.0])
+        assert s.count == 5
+        assert s.minimum == 1.0 and s.maximum == 5.0
+        assert s.median == 3.0
+        assert s.q1 == 2.0 and s.q3 == 4.0
+        assert s.iqr == 2.0
+        assert s.rel_iqr == pytest.approx(2.0 / 3.0)
+
+    def test_single_sample_degenerates_gracefully(self):
+        s = SampleStats.from_samples([7.5])
+        assert s.count == 1
+        assert s.median == s.minimum == s.maximum == 7.5
+        assert s.iqr == 0.0 and s.rel_iqr == 0.0
+        assert s.stdev == 0.0
+        assert s.outliers == ()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SampleStats.from_samples([])
+
+    def test_tukey_outlier_flagged(self):
+        # a tight cluster plus one wild value: the fence catches it
+        samples = [100.0, 101.0, 99.0, 100.5, 250.0]
+        s = SampleStats.from_samples(samples)
+        assert 250.0 in s.outliers
+        assert all(v not in s.outliers for v in samples[:4])
+
+    def test_quiet_series_has_no_outliers(self):
+        s = SampleStats.from_samples([100.0, 100.4, 99.8, 100.5, 100.2])
+        assert s.outliers == ()
+
+    def test_to_json_is_serialisable_and_complete(self):
+        s = SampleStats.from_samples([1.0, 2.0, 3.0, 400.0])
+        obj = json.loads(json.dumps(s.to_json()))
+        for key in ("count", "min", "max", "mean", "median", "q1", "q3",
+                    "iqr", "rel_iqr", "stdev", "outliers"):
+            assert key in obj, key
+
+
+class TestMadOutliers:
+    def test_injected_outlier_flagged(self):
+        # a truncated run recording 5 ms against a ~100 ms series
+        values = [100.0, 101.0, 99.0, 5.0, 100.5]
+        mask = mad_outliers(values)
+        assert mask == [False, False, False, True, False]
+
+    def test_slow_outlier_flagged_too(self):
+        mask = mad_outliers([100.0, 101.0, 99.0, 400.0])
+        assert mask[-1] is True
+
+    def test_short_series_never_flags(self):
+        # with fewer than three values there is no notion of "typical"
+        assert mad_outliers([1.0, 1000.0]) == [False, False]
+        assert mad_outliers([42.0]) == [False]
+        assert mad_outliers([]) == []
+
+    def test_zero_mad_flags_nothing(self):
+        # identical values: MAD is zero, nothing can be "deviant"
+        assert mad_outliers([5.0, 5.0, 5.0, 5.0]) == [False] * 4
+
+
+class TestRelativeDispersion:
+    def test_matches_stats_rel_iqr(self):
+        values = [10.0, 12.0, 11.0, 13.0, 14.0]
+        assert relative_dispersion(values) == pytest.approx(
+            SampleStats.from_samples(values).rel_iqr
+        )
+
+    def test_constant_series_is_zero(self):
+        assert relative_dispersion([3.0, 3.0, 3.0]) == 0.0
