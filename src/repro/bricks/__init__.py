@@ -32,6 +32,7 @@ from repro.bricks.brick_grid import (
 from repro.bricks.bricked_array import BrickedArray
 from repro.bricks.halo import gather_extended
 from repro.bricks.halo_plan import HaloPlan, gather_planned, plan_for, refresh_shell
+from repro.bricks.plan_cache import PlanLRUCache, cache_stats
 from repro.bricks.orderings import (
     ORDERINGS,
     contiguous_segments,
@@ -53,6 +54,8 @@ __all__ = [
     "gather_planned",
     "plan_for",
     "refresh_shell",
+    "PlanLRUCache",
+    "cache_stats",
     "ORDERINGS",
     "lexicographic_order",
     "surface_major_order",

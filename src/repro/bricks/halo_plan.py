@@ -16,10 +16,14 @@ flattens that into index arrays computed once per (grid, radius):
   the pack-free surface-exchange argument of the paper applied to the
   on-rank halo: copy the 26 shell regions, never the payload.
 
-Plans are cached per grid in a ``WeakKeyDictionary`` so congruent
-fields share them and dead grids do not pin their index tables
-(deliberately *not* an ``id()``-keyed cache, which could alias a
-recycled id onto a new grid).
+Plans are cached by ``grid.geometry_key`` (value identity) in bounded
+LRU caches (:mod:`repro.bricks.plan_cache`), so congruent grids —
+fresh hierarchies per solve, or the many concurrent requests of a
+solve service — share one set of index tables instead of rebuilding
+them per grid object.  Duck-typed grids without a geometry key fall
+back to a ``WeakKeyDictionary`` keyed by the grid itself (deliberately
+*not* an ``id()``-keyed cache, which could alias a recycled id onto a
+new grid).
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ import numpy as np
 
 from repro.bricks.brick_grid import direction_index
 from repro.bricks.bricked_array import BrickedArray
+from repro.bricks.plan_cache import PlanLRUCache
 
 #: per-(brick_dim, radius) coordinate maps, shared across all grids
 _COORD_CACHE: dict[tuple[int, int], tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
@@ -37,8 +42,11 @@ _COORD_CACHE: dict[tuple[int, int], tuple[np.ndarray, np.ndarray, np.ndarray]] =
 #: per-(brick_dim, offset, halo_radius) single-offset maps
 _OFFSET_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
 
-#: per-grid plans keyed weakly, one entry per radius
+#: weak per-grid fallback for duck-typed grids without a geometry key
 _PLAN_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+#: geometry-keyed HaloPlans, one entry per (geometry, radius)
+_HALO_PLAN_CACHE = PlanLRUCache("halo_plan.halo")
 
 
 def _coordinate_maps(
@@ -275,9 +283,10 @@ class OffsetGatherPlan:
 
 
 #: offset plans keyed by grid *geometry* (value identity), so congruent
-#: grids across solver instances — fresh hierarchies per solve — share
-#: the index tables instead of rebuilding them
-_OFFSET_PLAN_CACHE: dict[tuple, OffsetGatherPlan] = {}
+#: grids across solver instances — fresh hierarchies per solve, or the
+#: concurrent requests of a solve service — share the index tables
+#: instead of rebuilding them; LRU-bounded (see module docstring)
+_OFFSET_PLAN_CACHE = PlanLRUCache("halo_plan.offset")
 
 
 def offset_plan_for(grid, offsets, halo_radius: int = 0) -> OffsetGatherPlan:
@@ -288,7 +297,7 @@ def offset_plan_for(grid, offsets, halo_radius: int = 0) -> OffsetGatherPlan:
         plan = _OFFSET_PLAN_CACHE.get(key)
         if plan is None:
             plan = OffsetGatherPlan(grid, offsets, halo_radius)
-            _OFFSET_PLAN_CACHE[key] = plan
+            _OFFSET_PLAN_CACHE.put(key, plan)
         return plan
     # duck-typed grid without a geometry key: cache per grid object
     per_grid = _PLAN_CACHE.get(grid)
@@ -303,22 +312,37 @@ def offset_plan_for(grid, offsets, halo_radius: int = 0) -> OffsetGatherPlan:
 
 
 def clear_offset_plan_cache() -> int:
-    """Drop every cached :class:`OffsetGatherPlan`.
+    """Drop every cached :class:`OffsetGatherPlan` and :class:`HaloPlan`.
 
     Communicator repair rebuilds the exchange machinery from scratch;
-    clearing the shared plan cache forces the index tables to re-derive
-    from the (unchanged) grid geometry, proving the rebuilt path does
-    not depend on any pre-crash cached state.  Plans are pure functions
-    of geometry, so re-derivation is bit-identical.  Returns the number
-    of plans dropped.
+    clearing the shared plan caches forces the index tables to
+    re-derive from the (unchanged) grid geometry, proving the rebuilt
+    path does not depend on any pre-crash cached state.  Plans are pure
+    functions of geometry, so re-derivation is bit-identical.  Returns
+    the number of offset plans dropped.
     """
-    n = len(_OFFSET_PLAN_CACHE)
-    _OFFSET_PLAN_CACHE.clear()
+    n = _OFFSET_PLAN_CACHE.clear()
+    _HALO_PLAN_CACHE.clear()
     return n
 
 
 def plan_for(grid, radius: int) -> HaloPlan:
-    """The (cached) :class:`HaloPlan` of ``grid`` at ``radius``."""
+    """The (cached) :class:`HaloPlan` of ``grid`` at ``radius``.
+
+    Keyed by ``grid.geometry_key`` when the grid has one, so congruent
+    grids from separate solver instances (or separate service requests)
+    share one plan; the gather/refresh tables read only adjacency-
+    derived indices, which are equal across congruent grids by
+    construction.
+    """
+    geometry = getattr(grid, "geometry_key", None)
+    if geometry is not None:
+        key = (geometry, int(radius))
+        plan = _HALO_PLAN_CACHE.get(key)
+        if plan is None:
+            plan = HaloPlan(grid, radius)
+            _HALO_PLAN_CACHE.put(key, plan)
+        return plan
     per_grid = _PLAN_CACHE.get(grid)
     if per_grid is None:
         per_grid = {}

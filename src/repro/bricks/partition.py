@@ -37,9 +37,13 @@ import weakref
 
 import numpy as np
 
+from repro.bricks.plan_cache import PlanLRUCache
+
 #: partitions keyed by grid geometry (value identity), shared across
-#: solver instances like the offset-plan cache
-_PARTITION_CACHE: dict[tuple, "BrickPartition"] = {}
+#: solver instances like the offset-plan cache; LRU-bounded so a
+#: long-lived service walking many geometries cannot pin unbounded
+#: subset tables
+_PARTITION_CACHE = PlanLRUCache("partition")
 
 #: per-grid fallback for duck-typed grids without a geometry key
 _GRID_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
@@ -125,7 +129,7 @@ def partition_for(grid) -> BrickPartition:
         part = _PARTITION_CACHE.get(geometry)
         if part is None:
             part = BrickPartition(grid)
-            _PARTITION_CACHE[geometry] = part
+            _PARTITION_CACHE.put(geometry, part)
         return part
     part = _GRID_CACHE.get(grid)
     if part is None:
@@ -139,6 +143,4 @@ def clear_partition_cache() -> int:
 
     Returns the number of partitions dropped.
     """
-    n = len(_PARTITION_CACHE)
-    _PARTITION_CACHE.clear()
-    return n
+    return _PARTITION_CACHE.clear()

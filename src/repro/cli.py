@@ -637,6 +637,148 @@ def _cmd_autotune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _loadgen_config(args: argparse.Namespace):
+    from repro.service.loadgen import smoke_config
+
+    overrides = {}
+    if args.size is not None:
+        overrides["global_cells"] = args.size
+    if args.levels is not None:
+        overrides["num_levels"] = args.levels
+    if args.brick is not None:
+        overrides["brick_dim"] = args.brick
+    return smoke_config(**overrides)
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.ledger import LedgerEntry
+    from repro.service.loadgen import run_loadgen
+
+    base = _loadgen_config(args)
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    rate = args.rate if args.rate and args.rate > 0 else None
+    print(
+        f"loadgen: {args.requests} request(s) over {base.global_cells}^3 "
+        f"cells, {base.num_levels} levels, {base.brick_dim}^3 bricks, "
+        f"capacity {args.capacity}, seed {args.seed}, "
+        + (f"open-loop {rate:g}/s" if rate else "closed batch")
+        + (f", best of {args.repeats}" if args.repeats > 1 else "")
+    )
+    report = run_loadgen(
+        base,
+        num_requests=args.requests,
+        capacity=args.capacity,
+        seed=args.seed,
+        rate_hz=rate,
+        baseline=not args.no_baseline,
+        repeats=args.repeats,
+        tracer=tracer,
+    )
+    print(f"  solves/sec         {report.solves_per_sec:10.1f}")
+    if not args.no_baseline:
+        print(f"  sequential/sec     {report.sequential_solves_per_sec:10.1f}")
+        print(f"  speedup            {report.speedup:10.2f}x")
+    print(f"  p50 latency        {report.metrics['p50_ms']:10.1f} ms")
+    print(f"  p95 latency        {report.metrics['p95_ms']:10.1f} ms")
+    print(f"  occupancy          {report.occupancy:10.1%}")
+    print(f"  cycles run         {report.cycles_run:10d}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.to_json(), fh, indent=1, sort_keys=True)
+        print(f"wrote report to {args.json}")
+    if tracer is not None:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(
+            tracer, args.trace, metadata={"tool": "repro loadgen"}
+        )
+        print(f"wrote trace to {args.trace}")
+    if args.update:
+        entry = LedgerEntry(
+            benchmark="service.loadgen",
+            metrics=dict(report.metrics),
+            source="loadgen",
+            context=dict(report.context),
+        )
+        _record_sweep_entry(entry, args.ledger)
+        print(
+            f"gate the series with: repro perfgate --ledger {args.ledger} "
+            f"--series 'service.*' --noise-scaled --warn-only"
+        )
+    if args.min_speedup is not None and not args.no_baseline:
+        if report.speedup < args.min_speedup:
+            print(
+                f"loadgen FAILED: speedup {report.speedup:.2f}x < "
+                f"required {args.min_speedup:g}x"
+            )
+            return 1
+        print(f"speedup {report.speedup:.2f}x >= {args.min_speedup:g}x")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import sys as _sys
+
+    from repro.service import SolveRequest, SolveService
+    from repro.service.loadgen import smoke_config
+
+    if args.requests_file == "-":
+        payload = json.load(_sys.stdin)
+    else:
+        with open(args.requests_file) as fh:
+            payload = json.load(fh)
+    if isinstance(payload, list):
+        payload = {"requests": payload}
+    base = smoke_config(**payload.get("config", {}))
+    requests = [
+        SolveRequest(
+            config=base,
+            amplitude=float(spec.get("amplitude", 1.0)),
+            request_id=str(spec.get("request_id", f"req-{k}")),
+        )
+        for k, spec in enumerate(payload["requests"])
+    ]
+    if not requests:
+        print("no requests in batch", file=_sys.stderr)
+        return 1
+    service = SolveService(capacity=args.capacity)
+    results = service.submit(requests)
+    out = {
+        "results": [
+            {
+                "request_id": r.request.request_id,
+                "converged": r.converged,
+                "num_vcycles": r.num_vcycles,
+                "final_residual": r.final_residual,
+                "latency_ms": 1e3 * r.latency_s,
+                "slot": r.slot,
+                "joined_at_cycle": r.joined_at_cycle,
+            }
+            for r in results
+        ],
+        "num_cohorts": service.num_cohorts,
+    }
+    text = json.dumps(out, indent=1, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(
+            f"served {len(results)} request(s) "
+            f"({sum(r.converged for r in results)} converged); "
+            f"wrote {args.out}"
+        )
+    else:
+        print(text)
+    return 0 if all(r.converged for r in results) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -936,6 +1078,70 @@ def build_parser() -> argparse.ArgumentParser:
              "fails by design (inverted self-test)",
     )
     chaossweep.set_defaults(func=_cmd_chaossweep)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="synthetic open-loop load against the batched solve "
+             "service: solves/sec, p50/p95 latency, occupancy, and the "
+             "speedup over sequential per-request solves",
+    )
+    loadgen.add_argument("--requests", type=int, default=8,
+                         help="requests in the stream (default 8)")
+    loadgen.add_argument("--capacity", type=int, default=8,
+                         help="cohort slots per geometry (default 8)")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="stream seed: amplitudes + arrivals (default 0)")
+    loadgen.add_argument("--rate", type=float, default=None, metavar="HZ",
+                         help="open-loop Poisson arrival rate; omit for a "
+                              "closed batch")
+    loadgen.add_argument("--repeats", type=int, default=3,
+                         help="best-of-N timed passes, both paths "
+                              "(default 3)")
+    loadgen.add_argument("--size", type=int, default=None,
+                         help="global cells per dim (default: smoke "
+                              "geometry, 8)")
+    loadgen.add_argument("--levels", type=int, default=None,
+                         help="multigrid levels (default: smoke geometry, 3)")
+    loadgen.add_argument("--brick", type=int, default=None,
+                         help="brick dimension (default: smoke geometry, 2)")
+    loadgen.add_argument("--no-baseline", action="store_true",
+                         help="skip the sequential baseline pass")
+    loadgen.add_argument("--min-speedup", type=float, default=None,
+                         metavar="X",
+                         help="fail unless batched speedup >= X (smoke "
+                              "acceptance: 2.0)")
+    loadgen.add_argument("--json", metavar="FILE",
+                         help="write the full report as JSON")
+    loadgen.add_argument("--trace", metavar="FILE",
+                         help="write a Chrome trace of the service pass")
+    loadgen.add_argument(
+        "--ledger", default="benchmarks/results/ledger", metavar="DIR",
+        help="ledger directory for --update (default "
+             "benchmarks/results/ledger)",
+    )
+    loadgen.add_argument(
+        "--update", action="store_true",
+        help="append the run's metrics to the service.loadgen ledger "
+             "series (gate with: repro perfgate --series 'service.*')",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
+
+    serve = sub.add_parser(
+        "serve",
+        help="solve a JSON batch of requests through the multi-tenant "
+             "service (file or stdin in, JSON results out)",
+    )
+    serve.add_argument(
+        "requests_file", metavar="FILE",
+        help="JSON request batch: a list of {amplitude, request_id} "
+             "objects, or {config: {...overrides}, requests: [...]}; "
+             "'-' reads stdin",
+    )
+    serve.add_argument("--capacity", type=int, default=8,
+                       help="cohort slots per geometry (default 8)")
+    serve.add_argument("--out", metavar="FILE",
+                       help="write results JSON here instead of stdout")
+    serve.set_defaults(func=_cmd_serve)
 
     validate = sub.add_parser(
         "validate", help="run the artifact-style self-checks"

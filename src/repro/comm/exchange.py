@@ -108,9 +108,10 @@ class LocalPeriodicExchange:
             self._fill = BoundaryFill(
                 grid, ((True, True),) * 3, self.boundary
             )
-        #: per-itemsize (nbytes, kind) rows of the 26 recorded messages —
-        #: static per grid, so computed once instead of per exchange
-        self._message_rows: dict[int, list[tuple[int, str]]] = {}
+        #: fully-constructed event rows of the 26 recorded messages per
+        #: (level, itemsize, nfields) — static per grid, so the per-
+        #: exchange record is one bulk extend of shared frozen events
+        self._message_events: dict[tuple[int, int, int], list] = {}
 
     def exchange(
         self, level: int, fields_by_rank: Sequence[Sequence[BrickedArray]]
@@ -166,21 +167,23 @@ class LocalPeriodicExchange:
             return
         nfields = len(fields)
         itemsize = fields[0].data.dtype.itemsize
-        rows = self._message_rows.get(itemsize)
-        if rows is None:
-            rows = [
-                (self.grid.region_num_bytes(d, itemsize), direction_kind(d))
+        key = (level, itemsize, nfields)
+        events = self._message_events.get(key)
+        if events is None:
+            from repro.instrument import MessageEvent
+
+            events = [
+                MessageEvent(
+                    level,
+                    self.grid.region_num_bytes(d, itemsize) * nfields,
+                    direction_kind(d),
+                    1,
+                    True,
+                )
                 for d in NEIGHBOR_DIRECTIONS
             ]
-            self._message_rows[itemsize] = rows
-        for nbytes, kind in rows:
-            self.recorder.message(
-                level,
-                nbytes * nfields,
-                kind,
-                segments=1,
-                self_message=True,
-            )
+            self._message_events[key] = events
+        self.recorder.messages.extend(events)
 
 
 class ResilientChannel:

@@ -20,6 +20,8 @@ _PID = 1
 _TID = 1
 #: rank ``r``'s child timeline exports as pid ``r + _RANK_PID_BASE``
 _RANK_PID_BASE = 2
+#: the ``k``-th fork timeline exports as tid ``k + _FORK_TID_BASE``
+_FORK_TID_BASE = 2
 
 #: event phases this exporter emits
 _SPAN_PHASE = "X"
@@ -44,7 +46,12 @@ def _category(name: str) -> str:
     return "kernel"
 
 
-def _span_events(tracer: Tracer, pid: int) -> list[dict]:
+def fork_tid(position: int) -> int:
+    """The Chrome-trace thread id of the ``position``-th fork timeline."""
+    return int(position) + _FORK_TID_BASE
+
+
+def _span_events(tracer: Tracer, pid: int, tid: int = _TID) -> list[dict]:
     return [
         {
             "name": s.name,
@@ -53,7 +60,7 @@ def _span_events(tracer: Tracer, pid: int) -> list[dict]:
             "ts": s.start * 1e6,
             "dur": s.duration * 1e6,
             "pid": pid,
-            "tid": _TID,
+            "tid": tid,
             "args": dict(s.attrs),
         }
         for s in tracer.ordered_spans()
@@ -73,17 +80,48 @@ def to_chrome_trace(tracer: Tracer, metadata: dict | None = None) -> dict:
     receive failed rather than on the global driver timeline; instants
     without a rank (solve-wide rollbacks) stay global.
 
+    Fork timelines (:meth:`~repro.obs.tracer.Tracer.fork` — one per
+    interleaved solve/cohort of a service run) share the root tracer's
+    epoch, so they export on the same time axis as separate *threads*:
+    the ``k``-th fork's spans carry tid :func:`fork_tid`, with
+    ``thread_name`` metadata labelling each thread with its fork key;
+    a fork's own per-rank children export under the rank's pid with the
+    fork's tid.
+
     ``metadata`` lands in ``otherData`` (Perfetto shows it in the trace
     info panel) — the CLI puts the solver configuration there.
     """
     events: list[dict] = _span_events(tracer, _PID)
     used_rank_pids: dict[int, int] = {}
+    #: thread_name metadata labels keyed by (pid, tid)
+    thread_labels: dict[tuple[int, int], str] = {}
+
+    def _emit_timeline(timeline: Tracer, pid: int, tid: int) -> None:
+        events.extend(_span_events(timeline, pid, tid))
+        for i in timeline.instants:
+            events.append(_instant_event(i, pid, tid))
+
     for rank, child in sorted(tracer.children.items()):
         pid = rank_pid(rank)
         used_rank_pids[rank] = pid
-        events.extend(_span_events(child, pid))
-        for i in child.instants:
-            events.append(_instant_event(i, pid))
+        _emit_timeline(child, pid, _TID)
+    for pos, (key, fork) in enumerate(tracer.forks.items()):
+        tid = fork_tid(pos)
+        label = f"fork {key}"
+        events.extend(_span_events(fork, _PID, tid))
+        thread_labels[(_PID, tid)] = label
+        for i in fork.instants:
+            rank = i.attrs.get("rank", -1)
+            if isinstance(rank, int) and not isinstance(rank, bool) and rank >= 0:
+                pid = used_rank_pids.setdefault(rank, rank_pid(rank))
+            else:
+                pid = _PID
+            events.append(_instant_event(i, pid, tid))
+        for rank, child in sorted(fork.children.items()):
+            pid = rank_pid(rank)
+            used_rank_pids[rank] = pid
+            _emit_timeline(child, pid, tid)
+            thread_labels[(pid, tid)] = label
     for i in tracer.instants:
         rank = i.attrs.get("rank", -1)
         if isinstance(rank, int) and not isinstance(rank, bool) and rank >= 0:
@@ -105,14 +143,25 @@ def to_chrome_trace(tracer: Tracer, metadata: dict | None = None) -> dict:
         }
         for pid, label in names
     ]
+    thread_names = [
+        {
+            "name": "thread_name",
+            "ph": _METADATA_PHASE,
+            "ts": 0,
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": label},
+        }
+        for (pid, tid), label in sorted(thread_labels.items())
+    ]
     return {
-        "traceEvents": process_names + events,
+        "traceEvents": process_names + thread_names + events,
         "displayTimeUnit": "ms",
         "otherData": dict(metadata or {}),
     }
 
 
-def _instant_event(instant, pid: int) -> dict:
+def _instant_event(instant, pid: int, tid: int = _TID) -> dict:
     return {
         "name": instant.name,
         "cat": _category(instant.name),
@@ -120,7 +169,7 @@ def _instant_event(instant, pid: int) -> dict:
         "s": "t",  # thread-scoped instant
         "ts": instant.timestamp * 1e6,
         "pid": pid,
-        "tid": _TID,
+        "tid": tid,
         "args": dict(instant.attrs),
     }
 

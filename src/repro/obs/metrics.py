@@ -19,29 +19,53 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
+        #: registering owner per name (``None`` for unowned writes)
+        self._owners: dict[str, object] = {}
 
     # ------------------------------------------------------------------
-    def counter(self, name: str, value: float = 1.0) -> None:
+    def _claim(self, name: str, kind: str, owner) -> None:
+        """Kind-collision policy shared by :meth:`counter`/:meth:`gauge`.
+
+        A name is either a counter or a gauge, never both: :meth:`get`
+        (and the flat snapshot consumers) could not tell which series a
+        value belongs to.  In a long-lived process the *same* component
+        legitimately re-registers its metrics every solve, so a kind
+        conflict from one non-``None`` owner is an idempotent
+        redefinition (the stale series is dropped); a conflict across
+        different owners — or from unowned writes, where nothing proves
+        the two writers are the same component — keeps the error.
+        """
+        other = self._gauges if kind == "counter" else self._counters
+        if name not in other:
+            if name not in self._owners:
+                self._owners[name] = owner
+            return
+        prior = self._owners.get(name)
+        if owner is not None and owner == prior:
+            del other[name]
+            self._owners[name] = owner
+            return
+        held = "gauge" if kind == "counter" else "counter"
+        raise ValueError(f"{name!r} is already a {held}, not a {kind}")
+
+    def counter(self, name: str, value: float = 1.0, owner=None) -> None:
         """Add ``value`` to counter ``name`` (creating it at 0).
 
-        A name is either a counter or a gauge, never both: re-using a
-        gauge's name raises, because :meth:`get` (and the flat snapshot
-        consumers) could not tell which series the value belongs to.
+        ``owner`` scopes registration for long-lived registries: see
+        :meth:`_claim` for the collision policy.
         """
         if value < 0:
             raise ValueError(f"counters only increase: {name}={value}")
-        if name in self._gauges:
-            raise ValueError(f"{name!r} is already a gauge, not a counter")
+        self._claim(name, "counter", owner)
         self._counters[name] = self._counters.get(name, 0.0) + value
 
-    def gauge(self, name: str, value: float) -> None:
+    def gauge(self, name: str, value: float, owner=None) -> None:
         """Set gauge ``name`` to ``value`` (last write wins).
 
-        Raises when ``name`` already names a counter (see
-        :meth:`counter` for why the namespaces must not overlap).
+        ``owner`` scopes registration for long-lived registries: see
+        :meth:`_claim` for the collision policy.
         """
-        if name in self._counters:
-            raise ValueError(f"{name!r} is already a counter, not a gauge")
+        self._claim(name, "gauge", owner)
         self._gauges[name] = float(value)
 
     def get(self, name: str, default: float = 0.0) -> float:
@@ -78,6 +102,22 @@ class MetricsRegistry:
             self.counter(f"faults.{kind}", n)
         self.counter("faults.injected", recorder.injected_faults)
         self.counter("faults.detected", recorder.detected_faults)
+
+    def observe_plan_caches(self) -> None:
+        """Snapshot the geometry-keyed plan caches' hit statistics.
+
+        One gauge per cache per stat (``cache.<name>.hits`` etc.) —
+        gauges, not counters, because the underlying totals are
+        process-cumulative and an observe-per-cohort registry would
+        otherwise double-count them.
+        """
+        from repro.bricks.plan_cache import cache_stats
+
+        for cache_name, stats in cache_stats().items():
+            for stat, value in stats.items():
+                self.gauge(
+                    f"cache.{cache_name}.{stat}", value, owner="plan_caches"
+                )
 
     def observe_recovery(self, result) -> None:
         """Record a solve's rank-crash recovery SLO metrics.
@@ -152,6 +192,7 @@ def solve_metrics(
     """
     registry = MetricsRegistry()
     registry.observe_recorder(recorder)
+    registry.observe_plan_caches()
     if tracer is not None and getattr(tracer, "enabled", False):
         registry.gauge("trace.spans", len(tracer.spans))
         registry.gauge("trace.instants", len(tracer.instants))

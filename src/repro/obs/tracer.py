@@ -105,6 +105,10 @@ class NullTracer:
         """Per-rank child of the disabled tracer: itself."""
         return self
 
+    def fork(self, key) -> "NullTracer":
+        """Sibling timeline of the disabled tracer: itself."""
+        return self
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "NullTracer()"
 
@@ -187,6 +191,11 @@ class Tracer:
         self.children: dict[int, "Tracer"] = {}
         #: the rank this tracer records for (None for the root timeline)
         self.rank: int | None = None
+        #: sibling logical timelines created by :meth:`fork`, keyed by
+        #: the caller-chosen key, in creation order
+        self.forks: dict = {}
+        #: the key this tracer was forked under (None for the root)
+        self.fork_key = None
 
     # ------------------------------------------------------------------
     def span(self, name: str, **attrs) -> _SpanContext:
@@ -210,6 +219,28 @@ class Tracer:
             tracer._epoch = self._epoch
             tracer.rank = int(rank)
             self.children[rank] = tracer
+        return tracer
+
+    def fork(self, key) -> "Tracer":
+        """A sibling logical timeline for ``key`` (created on first use).
+
+        The span stack and preorder indices of a :class:`Tracer` encode
+        *one* logical timeline: a second root span opened while another
+        is still live would nest under it, and two interleaved solves
+        sharing one tracer would therefore corrupt each other's parent
+        links and Chrome export ordering.  A *fork* is a separate
+        timeline — its own stack, indices and records — that shares
+        this tracer's clock **and** epoch, so timestamps stay directly
+        comparable and the Chrome exporter can emit each fork as its
+        own thread on one common time axis.  A long-lived service forks
+        once per solve/cohort and interleaves them freely.
+        """
+        tracer = self.forks.get(key)
+        if tracer is None:
+            tracer = Tracer(clock=self._clock)
+            tracer._epoch = self._epoch
+            tracer.fork_key = key
+            self.forks[key] = tracer
         return tracer
 
     def instant(self, name: str, **attrs) -> None:
@@ -259,6 +290,8 @@ class Tracer:
         self.spans.clear()
         self.instants.clear()
         for tracer in self.children.values():
+            tracer.clear()
+        for tracer in self.forks.values():
             tracer.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

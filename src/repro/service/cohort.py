@@ -1,0 +1,746 @@
+"""Batched multi-request execution: N solves under one V-cycle driver.
+
+A :class:`CohortSolver` owns ``capacity`` *member* solver hierarchies
+of one geometry class and drives them with a single unmodified
+:class:`~repro.gmg.vcycle.VCycle` over the concatenated per-rank level
+lists — the request axis rides alongside the rank axis, exactly as
+block-diagonal rank batching (PR 2) rides the engine's stacked index
+space:
+
+* **compute** batches across requests: with ``batch_ranks`` the cohort
+  :class:`~repro.gmg.engine.ExecutionEngine` stacks all members' level
+  groups onto one :class:`~repro.bricks.batch.BatchedGrid` of
+  ``capacity * num_ranks`` blocks, so a smoothing iteration is one
+  vectorised call over the whole cohort;
+* **communication** stays per member: a :class:`FanoutExchanger`
+  splits the driver's ``fields_by_rank`` back into per-member chunks
+  and delegates to each member's own exchangers/communicator, so the
+  bytes on every (simulated) wire are identical to a standalone solve;
+* **convergence** is per request: :class:`CohortCycle` mirrors
+  ``max_norm_residual`` but reduces per member slot, reproducing each
+  member's allreduce semantics bit-exactly.
+
+Identity argument: every kernel is elementwise (or adjacency-gathered)
+per brick slot and the batched adjacency is block-diagonal, so no
+operation mixes slots of different members; idle slots hold exact
+zeros, which smoothing, restriction and bottom relaxation all map to
+zero.  A request therefore sees the same floats whether it shares the
+cohort with 0 or N-1 neighbours — asserted by the bit-identity suite.
+
+Requests retire individually when their residual test passes (or their
+cycle budget is exhausted) and new requests join at cycle boundaries:
+the freed slot's fields are zeroed through the adopted views and the
+joiner's RHS is written exactly as a fresh solver's constructor would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.gmg import operators as ops
+from repro.gmg.engine import EngineConfig, ExecutionEngine
+from repro.gmg.solver import GMGSolver, SolverConfig
+from repro.gmg.vcycle import VCycle
+from repro.obs.tracer import NULL_TRACER
+from repro.service.request import RequestResult, SolveRequest, apply_rhs
+from repro.service.request import geometry_key as _geometry_key
+
+
+class FanoutExchanger:
+    """One logical exchanger over N members' per-level exchangers.
+
+    The V-cycle driver hands ghost exchanges a ``fields_by_rank`` list
+    covering the whole cohort; this splits it into per-member chunks
+    (``counts[m]`` compute levels each) and delegates, so each member's
+    exchange runs on its own communicator with standalone-identical
+    traffic.  The split-phase pair ``begin``/``finish`` is exposed only
+    when every delegate offers it (the driver falls back to synchronous
+    exchanges otherwise, mirroring the standalone overlap fallback).
+    """
+
+    def __init__(self, delegates, counts) -> None:
+        if len(delegates) != len(counts):
+            raise ValueError("need one field count per delegate")
+        self.delegates = list(delegates)
+        self.counts = [int(n) for n in counts]
+        if all(
+            getattr(d, "begin", None) is not None
+            and getattr(d, "finish", None) is not None
+            for d in self.delegates
+        ):
+            self.begin = self._begin
+            self.finish = self._finish
+
+    def _chunks(self, fields_by_rank):
+        if len(fields_by_rank) != sum(self.counts):
+            raise ValueError(
+                f"got {len(fields_by_rank)} rank field lists, expected "
+                f"{sum(self.counts)}"
+            )
+        i = 0
+        for delegate, n in zip(self.delegates, self.counts):
+            yield delegate, fields_by_rank[i : i + n]
+            i += n
+
+    def exchange(self, level: int, fields_by_rank) -> None:
+        for delegate, chunk in self._chunks(fields_by_rank):
+            delegate.exchange(level, chunk)
+
+    def _begin(self, level: int, fields_by_rank):
+        return [
+            (delegate, delegate.begin(level, chunk))
+            for delegate, chunk in self._chunks(fields_by_rank)
+        ]
+
+    def _finish(self, pending) -> None:
+        for delegate, member_pending in pending:
+            delegate.finish(member_pending)
+
+
+class StackedLocalExchanger:
+    """All-single-rank cohort exchange fused over the stacked storage.
+
+    When every member owns the whole periodic domain, a member exchange
+    is a local wrap — ``data[ghost] = data[source]`` inside that
+    member's slot block of the engine's stacked storage (member fields
+    are views of it).  The :class:`~repro.bricks.batch.BatchedGrid` wrap
+    pairs are exactly the member pairs offset per block, so one
+    vectorised copy writes byte-identical ghosts for the whole cohort —
+    the throughput lever at small geometries, where N per-member
+    Python exchanges would cost as much as the N sequential solves the
+    cohort must beat.
+
+    Per-member message recording is delegated to the members' own
+    exchangers unchanged, so operation-count accounting matches the
+    fanout path exactly; fields the engine did not stack fall back to
+    the per-member delegates.  Like the local exchange it fuses, the
+    split-phase ``begin`` runs eagerly (no wire traffic to hide).
+    """
+
+    def __init__(self, delegates, stacked_by_id, tracer=None) -> None:
+        self.delegates = list(delegates)
+        #: id(member view field) -> stacked field sharing its storage
+        self._stacked_by_id = stacked_by_id
+        self.tracer = tracer or NULL_TRACER
+
+    def exchange(self, level: int, fields_by_rank) -> None:
+        self._fill(level, fields_by_rank)
+
+    def begin(self, level: int, fields_by_rank) -> int:
+        self._fill(level, fields_by_rank)
+        return level
+
+    def finish(self, pending: int) -> None:
+        pass
+
+    def _fill(self, level: int, fields_by_rank) -> None:
+        if len(fields_by_rank) != len(self.delegates):
+            raise ValueError(
+                f"got {len(fields_by_rank)} rank field lists, expected "
+                f"{len(self.delegates)}"
+            )
+        targets = [
+            self._stacked_by_id.get(id(f)) for f in fields_by_rank[0]
+        ]
+        fused = all(t is not None for t in targets) and all(
+            len(fields) == len(targets)
+            and all(
+                self._stacked_by_id.get(id(f)) is targets[k]
+                for k, f in enumerate(fields)
+            )
+            for fields in fields_by_rank[1:]
+        )
+        if not fused:
+            for delegate, fields in zip(self.delegates, fields_by_rank):
+                delegate.exchange(level, [fields])
+            return
+        with self.tracer.span(
+            "exchange", l=level, nfields=len(targets), stacked=True
+        ):
+            for stacked_field in targets:
+                stacked_field.fill_ghost_periodic()
+        for delegate, fields in zip(self.delegates, fields_by_rank):
+            delegate._record(level, fields)
+
+
+class _FanoutTransfer:
+    """Agglomeration gather/scatter fanned out across members."""
+
+    def __init__(self, delegates) -> None:
+        self.delegates = list(delegates)
+
+    def gather(self) -> None:
+        for delegate in self.delegates:
+            delegate.gather()
+
+    def scatter(self) -> None:
+        for delegate in self.delegates:
+            delegate.scatter()
+
+
+class CohortAgglomerator:
+    """N members' agglomerators presented as one, to the unmodified
+    V-cycle driver.
+
+    Implements exactly the surface :class:`~repro.gmg.vcycle.VCycle`
+    consumes — ``plan``, ``levels_at``, ``ranks_at``, ``exchanger_at``,
+    ``transfer_at``, ``staging_levels``, ``canonical_restriction``,
+    ``channels`` — by concatenating (levels, staging) or fanning out
+    (exchanges, transfers) across the members.  All members share one
+    config, hence one agglomeration plan.
+    """
+
+    def __init__(self, member_aggs, ranks_per_member: int) -> None:
+        self.members = list(member_aggs)
+        self.plan = self.members[0].plan
+        self.ranks_per_member = int(ranks_per_member)
+        num_levels = self.plan.num_levels
+        self._exchangers = []
+        self._transfers = []
+        #: staging levels per depth, concatenated across members
+        self.staging_levels: list[list | None] = []
+        for lev in range(num_levels):
+            exs = [a.exchanger_at(lev) for a in self.members]
+            if exs[0] is None:
+                self._exchangers.append(None)
+            else:
+                counts = [len(a.levels_at(lev)) for a in self.members]
+                self._exchangers.append(FanoutExchanger(exs, counts))
+            trs = [a.transfer_at(lev) for a in self.members]
+            self._transfers.append(
+                None if trs[0] is None else _FanoutTransfer(trs)
+            )
+            per = [a.staging_levels[lev] for a in self.members]
+            self.staging_levels.append(
+                None
+                if per[0] is None
+                else [stage for member in per for stage in member]
+            )
+
+    @property
+    def active(self) -> bool:
+        return True
+
+    def levels_at(self, lev: int):
+        merged = [a.levels_at(lev) for a in self.members]
+        if merged[0] is None:
+            return None
+        return [lv for member in merged for lv in member]
+
+    def ranks_at(self, lev: int):
+        """Global cohort slot ids: member ``m``'s rank ``r`` is slot
+        ``m * ranks_per_member + r``."""
+        active = [a.ranks_at(lev) for a in self.members]
+        if active[0] is None:
+            return None
+        return [
+            m * self.ranks_per_member + r
+            for m, member in enumerate(active)
+            for r in member
+        ]
+
+    def exchanger_at(self, lev: int):
+        return self._exchangers[lev]
+
+    def transfer_at(self, lev: int):
+        return self._transfers[lev]
+
+    def canonical_restriction(
+        self, lev: int, fine_levels, coarse_levels, recorder
+    ) -> None:
+        """Split the concatenated level lists per member and delegate
+        (the canonical per-rank association is a member-local fact)."""
+        n = len(self.members)
+        fine_n = len(fine_levels) // n
+        coarse_n = len(coarse_levels) // n
+        for m, agg in enumerate(self.members):
+            agg.canonical_restriction(
+                lev,
+                fine_levels[m * fine_n : (m + 1) * fine_n],
+                coarse_levels[m * coarse_n : (m + 1) * coarse_n],
+                recorder,
+            )
+
+    def channels(self):
+        return [ch for a in self.members for ch in a.channels()]
+
+
+class CohortCycle(VCycle):
+    """A V-cycle over a cohort, with per-member residual reductions."""
+
+    def __init__(self, num_members: int, *args, **kwargs) -> None:
+        self.num_members = int(num_members)
+        super().__init__(*args, **kwargs)
+
+    def member_residuals(self) -> list[float]:
+        """Finest-level residual max-norm of every member slot.
+
+        Mirrors :meth:`VCycle.max_norm_residual` — same exchange, same
+        (batched) applyOp + residual kernels, same per-level local
+        maxima — but reduces each member's locals separately with
+        ``float(np.max(...))``, which is bit-identical to both the
+        single-rank default reduction and ``SimComm.allreduce_max``.
+        """
+        with self.tracer.span("residual-check", v=self.cycles_run):
+            levels = self.levels_at(0)
+            stacked = (
+                self.engine.stacked_level(0) if self.engine is not None else None
+            )
+            split_ok = self.apply_op_fn is ops.apply_op
+            ctx = self._exchange_levels(
+                0, [[lv.x] for lv in levels], levels, stacked, split_ok
+            )
+            try:
+                if stacked is not None and self.apply_op_fn is ops.apply_op:
+                    with self.tracer.span("applyOp", l=0):
+                        ops.apply_op(stacked, self.recorder, tracer=self.tracer)
+                    with self.tracer.span("residual", l=0):
+                        ops.residual(stacked, self.recorder)
+                else:
+                    for lv in levels:
+                        with self.tracer.span("applyOp", l=0):
+                            if self.apply_op_fn is ops.apply_op:
+                                ops.apply_op(
+                                    lv, self.recorder, tracer=self.tracer
+                                )
+                            else:
+                                self.apply_op_fn(lv, self.recorder)
+                        with self.tracer.span("residual", l=0):
+                            ops.residual(lv, self.recorder)
+            finally:
+                self._end_overlap(ctx, levels, stacked)
+            if stacked is not None and self.apply_op_fn is ops.apply_op:
+                # one vectorised reduction over the stacked residual:
+                # each block row is exactly one level's interior element
+                # set, and max is order-independent, so the per-block
+                # maxima match the per-level ``max_abs_interior`` calls
+                # bit-for-bit
+                vals = np.abs(stacked.r.data[stacked.grid.interior_slots])
+                local = vals.reshape(len(levels), -1).max(axis=1)
+            else:
+                local = [lv.r.max_abs_interior() for lv in levels]
+            if self.recorder is not None:
+                self.recorder.reduction()
+            per = len(local) // self.num_members
+            return [
+                float(np.max(local[m * per : (m + 1) * per]))
+                for m in range(self.num_members)
+            ]
+
+
+@dataclass
+class _ActiveRequest:
+    """Book-keeping for one request occupying a cohort slot."""
+
+    request: SolveRequest
+    slot: int
+    history: list[float] = field(default_factory=list)
+    joined_at_cycle: int = 0
+    arrival_s: float = 0.0
+
+
+class CohortSolver:
+    """``capacity`` member solver hierarchies under one batched driver.
+
+    Construction is the expensive, reusable part (the service caches
+    cohorts by geometry key): member hierarchies, exchangers, the
+    cohort engine adoption and the V-cycle driver are all built once;
+    requests then stream through slots with per-slot state resets only.
+
+    Restrictions: the ``cg``/``fft`` bottom solvers reduce over the
+    driver's whole index space and would mix requests — cohorts require
+    the paper-default ``relaxation`` bottom (no cross-slot reductions).
+    Fault injection/resilience are standalone-solver features.
+    """
+
+    def __init__(
+        self,
+        config: SolverConfig,
+        capacity: int,
+        tracer=None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        if config.bottom_solver != "relaxation":
+            raise ValueError(
+                f"cohorts require the 'relaxation' bottom solver; "
+                f"{config.bottom_solver!r} reduces across the batched index "
+                "space and would couple independent requests"
+            )
+        self.config = config
+        self.capacity = int(capacity)
+        self.tracer = tracer or NULL_TRACER
+        self.geometry_key = _geometry_key(config)
+        #: members run the seed per-rank layout; the cohort engine owns
+        #: batching/residency/fusion across the whole request axis
+        member_config = replace(
+            config, halo_resident=False, fuse_kernels=False, batch_ranks=False
+        )
+        with self.tracer.span("cohort-build", capacity=self.capacity):
+            self.members = [
+                GMGSolver(member_config, tracer=self.tracer)
+                for _ in range(self.capacity)
+            ]
+        first = self.members[0]
+        self.num_ranks = first.topology.size
+        num_levels = config.num_levels
+
+        # --- request-axis level groups: concat of member compute groups
+        member_groups: list[list[list]] = []  # [member][lev] -> levels
+        for member in self.members:
+            if member.agglomerator is not None:
+                member_groups.append(
+                    member.agglomerator.level_groups(member.rank_levels)
+                )
+            else:
+                member_groups.append(
+                    [
+                        [levels[lev] for levels in member.rank_levels]
+                        for lev in range(num_levels)
+                    ]
+                )
+        #: compute levels per member at each depth (1 group member per
+        #: active rank; shrinks on agglomerated levels)
+        self._group_sizes = [len(member_groups[0][lev]) for lev in range(num_levels)]
+        level_groups = [
+            [lv for groups in member_groups for lv in groups[lev]]
+            for lev in range(num_levels)
+        ]
+        group_ranks = [
+            [
+                m * self.num_ranks + r
+                for m, member in enumerate(self.members)
+                for r in (
+                    (member.agglomerator.ranks_at(lev) if member.agglomerator else None)
+                    or range(self.num_ranks)
+                )
+            ]
+            for lev in range(num_levels)
+        ]
+
+        self.agglomerator = None
+        if first.agglomerator is not None:
+            self.agglomerator = CohortAgglomerator(
+                [m.agglomerator for m in self.members], self.num_ranks
+            )
+
+        self.engine = None
+        engine_config = EngineConfig(
+            halo_resident=config.halo_resident,
+            fuse_kernels=config.fuse_kernels,
+            batch_ranks=config.batch_ranks,
+        )
+        rank_levels = [
+            levels for member in self.members for levels in member.rank_levels
+        ]
+        if engine_config.enabled:
+            self.engine = ExecutionEngine(
+                rank_levels,
+                engine_config,
+                tracer=self.tracer,
+                level_groups=level_groups,
+                group_ranks=group_ranks,
+            )
+
+        from repro.gmg.bottom import make_bottom_solver
+        from repro.gmg.smoothers import make_smoother
+
+        bottom_kwargs = dict(config.bottom_options)
+        if "iterations" not in bottom_kwargs:
+            bottom_kwargs["iterations"] = config.bottom_smooths
+        exchangers = []
+        for lev in range(num_levels):
+            ex = self._stacked_exchanger(lev)
+            if ex is None:
+                ex = FanoutExchanger(
+                    [m.exchangers[lev] for m in self.members],
+                    [self.num_ranks] * self.capacity,
+                )
+            exchangers.append(ex)
+        self.vcycle = CohortCycle(
+            self.capacity,
+            rank_levels,
+            exchangers,
+            max_smooths=config.max_smooths,
+            bottom_smooths=config.bottom_smooths,
+            communication_avoiding=config.communication_avoiding,
+            recorder=first.recorder,
+            smoother=make_smoother(
+                config.smoother, **dict(config.smoother_options)
+            ),
+            bottom_solver=make_bottom_solver("relaxation", **bottom_kwargs),
+            cycle=config.cycle,
+            topology=first.topology,
+            engine=self.engine,
+            tracer=self.tracer,
+            agglomerator=self.agglomerator,
+            overlap=config.overlap,
+        )
+        #: slot -> _ActiveRequest
+        self._active: dict[int, _ActiveRequest] = {}
+        self._free: list[int] = list(range(self.capacity))
+        #: (cycle, active_count) samples for batch-occupancy reporting
+        self.occupancy_samples: list[tuple[int, int]] = []
+        self.requests_retired = 0
+        # construction initialised every member's RHS (amplitude 1);
+        # slots must start empty — idle slots hold exact zeros
+        for slot in range(self.capacity):
+            self._reset_slot(slot)
+
+    # ------------------------------------------------------------------
+    def _stacked_exchanger(self, lev: int) -> StackedLocalExchanger | None:
+        """The fused single-rank exchanger for depth ``lev``, when the
+        engine stacked it and every member's exchange is a pure periodic
+        wrap (single rank, periodic boundary) — None otherwise."""
+        from repro.comm.exchange import LocalPeriodicExchange
+
+        if self.num_ranks != 1 or self.engine is None:
+            return None
+        st = self.engine.stacked_level(lev)
+        if st is None:
+            return None
+        delegates = [m.exchangers[lev] for m in self.members]
+        if not all(
+            isinstance(d, LocalPeriodicExchange) and d._fill is None
+            for d in delegates
+        ):
+            return None
+        stacked_fields = st.fields()
+        stacked_by_id: dict[int, object] = {}
+        for member in self.members:
+            lv = member.rank_levels[0][lev]
+            for name, f in lv.fields().items():
+                if name in stacked_fields:
+                    stacked_by_id[id(f)] = stacked_fields[name]
+        return StackedLocalExchanger(
+            delegates, stacked_by_id, tracer=self.tracer
+        )
+
+    @property
+    def free_slots(self) -> int:
+        return len(self._free)
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def cycles_run(self) -> int:
+        return self.vcycle.cycles_run
+
+    def _reset_slot(self, slot: int) -> None:
+        """Zero every field of the member's hierarchy, through the
+        adopted views — after this the slot is numerically identical to
+        a freshly constructed (pre-RHS) member."""
+        member = self.members[slot]
+        seen: set[int] = set()
+
+        def _zero(lv) -> None:
+            if id(lv) in seen:
+                return
+            seen.add(id(lv))
+            for f in lv.fields().values():
+                f.data[...] = 0.0
+                if f.has_resident_halo:
+                    f.ext_data[...] = 0.0
+
+        for levels in member.rank_levels:
+            for lv in levels:
+                _zero(lv)
+        agg = member.agglomerator
+        if agg is not None:
+            for lev in range(self.config.num_levels):
+                merged = agg.levels_at(lev)
+                for lv in merged or ():
+                    _zero(lv)
+                for lv in agg.staging_levels[lev] or ():
+                    _zero(lv)
+        if self.engine is not None:
+            # halo-resident stacked x: the member views cover the
+            # interiors, but the shell rows live only in ext storage
+            for lev, st in enumerate(self.engine.stacked):
+                if st is None or not st.x.has_resident_halo:
+                    continue
+                per_member = self._group_sizes[lev] * st.grid.slots_per_rank
+                st.x.ext_data[slot * per_member : (slot + 1) * per_member] = 0.0
+
+    # ------------------------------------------------------------------
+    def admit(self, request: SolveRequest, arrival_s: float = 0.0) -> int:
+        """Place ``request`` into a free slot (RHS written in place).
+
+        Call :meth:`seed` with the returned slots before cycling so the
+        joiners record their initial residuals.
+        """
+        if request.geometry_key != self.geometry_key:
+            raise ValueError(
+                f"request {request.request_id} has a different geometry key "
+                "than this cohort"
+            )
+        if not self._free:
+            raise RuntimeError("cohort is full")
+        slot = self._free.pop(0)
+        apply_rhs(self.members[slot], request.amplitude)
+        self._active[slot] = _ActiveRequest(
+            request=request,
+            slot=slot,
+            joined_at_cycle=self.vcycle.cycles_run,
+            arrival_s=arrival_s,
+        )
+        self.tracer.instant(
+            "service:admit", slot=slot, request=request.request_id
+        )
+        return slot
+
+    def seed(self, slots) -> list[RequestResult]:
+        """Record joiners' initial residuals (``history[0]``).
+
+        One cohort-wide residual pass; only the named slots harvest an
+        entry.  For members mid-solve the pass is numerically idempotent
+        — it re-exchanges unchanged interiors and recomputes ``Ax``/``r``
+        from unchanged ``x``/``b`` — so their trajectories are
+        unperturbed and their histories untouched.  Requests whose
+        initial residual already passes their test retire immediately
+        (mirroring a standalone solve that runs zero cycles).
+        """
+        residuals = self.vcycle.member_residuals()
+        retired = []
+        for slot in slots:
+            active = self._active[slot]
+            active.history.append(residuals[slot])
+            if self._done(active):
+                retired.append(self._retire(slot))
+        return retired
+
+    def _done(self, active: _ActiveRequest) -> bool:
+        """The standalone solve-loop termination test, per request."""
+        config = active.request.config
+        return (
+            active.history[-1] <= config.tol
+            or len(active.history) > config.max_vcycles
+        )
+
+    def cycle(self) -> list[RequestResult]:
+        """One cohort-wide V-cycle + residual pass; returns retirees."""
+        if not self._active:
+            return []
+        self.occupancy_samples.append(
+            (self.vcycle.cycles_run, len(self._active))
+        )
+        self.vcycle.run()
+        residuals = self.vcycle.member_residuals()
+        retired = []
+        for slot in sorted(self._active):
+            active = self._active[slot]
+            active.history.append(residuals[slot])
+            if self._done(active):
+                retired.append(self._retire(slot))
+        return retired
+
+    def _retire(self, slot: int) -> RequestResult:
+        """Snapshot the slot's solution, zero it, and free it."""
+        active = self._active.pop(slot)
+        config = active.request.config
+        result = RequestResult(
+            request=active.request,
+            converged=active.history[-1] <= config.tol,
+            num_vcycles=len(active.history) - 1,
+            residual_history=list(active.history),
+            solution=self._solution(slot),
+            slot=slot,
+            joined_at_cycle=active.joined_at_cycle,
+            arrival_s=active.arrival_s,
+        )
+        self._reset_slot(slot)
+        self._free.append(slot)
+        self._free.sort()
+        self.requests_retired += 1
+        self.tracer.instant(
+            "service:retire",
+            slot=slot,
+            request=active.request.request_id,
+            vcycles=result.num_vcycles,
+        )
+        return result
+
+    def _solution(self, slot: int) -> np.ndarray:
+        """Assemble the member's global finest-level solution (mirrors
+        :meth:`GMGSolver.solution`, reading through the adopted views)."""
+        member = self.members[slot]
+        N = self.config.global_cells
+        out = np.empty((N, N, N), dtype=np.float64)
+        per_rank = self.config.cells_per_rank
+        for rank, levels in enumerate(member.rank_levels):
+            o = member.topology.subdomain_origin(rank, per_rank)
+            out[
+                o[0] : o[0] + per_rank[0],
+                o[1] : o[1] + per_rank[1],
+                o[2] : o[2] + per_rank[2],
+            ] = levels[0].x.to_ijk()
+        return out
+
+    # ------------------------------------------------------------------
+    def solve_stream(
+        self, requests, arrivals=None, clock=None
+    ) -> list[RequestResult]:
+        """Run an (optionally open-loop) request stream to completion.
+
+        ``arrivals[i]`` is the offset (seconds on ``clock``) at which
+        ``requests[i]`` becomes eligible; omitted arrivals are 0 (a
+        closed batch).  Requests join at cycle boundaries as slots free
+        up; the returned results carry arrival/completion stamps on
+        ``clock`` for latency accounting.  Results are in retirement
+        order.
+        """
+        import time as _time
+
+        clock = clock or _time.perf_counter
+        pending = list(zip(requests, arrivals or [0.0] * len(requests)))
+        for request, _ in pending:
+            if request.geometry_key != self.geometry_key:
+                raise ValueError(
+                    f"request {request.request_id} does not match this "
+                    "cohort's geometry key"
+                )
+        t0 = clock()
+        results: list[RequestResult] = []
+
+        def _finalize(retirees) -> None:
+            now = clock() - t0
+            for result in retirees:
+                result.completed_s = now
+                results.append(result)
+
+        with self.tracer.span(
+            "cohort-stream", requests=len(pending), capacity=self.capacity
+        ):
+            while pending or self._active:
+                now = clock() - t0
+                joined = []
+                while pending and self._free and pending[0][1] <= now:
+                    request, arrival = pending.pop(0)
+                    joined.append(self.admit(request, arrival_s=arrival))
+                if joined:
+                    _finalize(self.seed(joined))
+                if self._active:
+                    _finalize(self.cycle())
+                # else: open-loop idle gap — spin until the next arrival
+        for member in self.members:
+            if member.comm is not None:
+                member.comm.assert_drained()
+        return results
+
+    def occupancy(self) -> float:
+        """Mean active-slot fraction over the cycles run so far."""
+        if not self.occupancy_samples:
+            return 0.0
+        return float(
+            np.mean([n for _, n in self.occupancy_samples])
+        ) / self.capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CohortSolver(capacity={self.capacity}, "
+            f"active={self.active_count}, cycles={self.cycles_run})"
+        )

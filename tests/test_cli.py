@@ -225,3 +225,84 @@ class TestValidateCommand:
         out = capsys.readouterr().out
         assert "7/7 checks passed" in out
         assert "FAIL" not in out
+
+
+class TestLoadgenCommand:
+    def test_reports_throughput_and_latency(self, capsys):
+        rc = main(["loadgen", "--requests", "2", "--repeats", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 request(s)" in out
+        assert "solves/sec" in out and "speedup" in out
+        assert "p95 latency" in out and "occupancy" in out
+
+    def test_json_report_and_ledger_entry(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "loadgen.json"
+        rc = main(["loadgen", "--requests", "2", "--repeats", "1",
+                   "--json", str(report),
+                   "--update", "--ledger", str(tmp_path / "ledger")])
+        assert rc == 0
+        obj = json.loads(report.read_text())
+        assert obj["num_requests"] == 2
+        assert set(obj["metrics"]) >= {"ms_per_solve", "p50_ms", "p95_ms",
+                                       "sequential_ms_per_solve"}
+        ledger = tmp_path / "ledger" / "service.loadgen.jsonl"
+        entry = json.loads(ledger.read_text().splitlines()[0])
+        assert entry["benchmark"] == "service.loadgen"
+        assert entry["metrics"]["ms_per_solve"] > 0
+        assert "recorded sweep" in capsys.readouterr().out
+
+    def test_min_speedup_gate_trips(self, capsys):
+        rc = main(["loadgen", "--requests", "2", "--repeats", "1",
+                   "--min-speedup", "1e9"])
+        assert rc == 1
+        assert "loadgen FAILED" in capsys.readouterr().out
+
+    def test_no_baseline_skips_sequential_pass(self, capsys):
+        rc = main(["loadgen", "--requests", "2", "--repeats", "1",
+                   "--no-baseline"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sequential/sec" not in out and "speedup" not in out
+
+
+class TestServeCommand:
+    def test_batch_file_to_results_json(self, capsys, tmp_path):
+        import json
+
+        batch = tmp_path / "batch.json"
+        batch.write_text(json.dumps([
+            {"amplitude": 1.3, "request_id": "a"},
+            {"amplitude": 0.7, "request_id": "b"},
+        ]))
+        out_path = tmp_path / "results.json"
+        rc = main(["serve", str(batch), "--out", str(out_path)])
+        assert rc == 0
+        obj = json.loads(out_path.read_text())
+        assert obj["num_cohorts"] == 1
+        assert [r["request_id"] for r in obj["results"]] == ["a", "b"]
+        for row in obj["results"]:
+            assert row["converged"]
+            assert row["final_residual"] <= 1e-10
+            assert row["latency_ms"] > 0
+
+    def test_config_overrides_and_stdout(self, capsys, tmp_path):
+        import json
+
+        batch = tmp_path / "batch.json"
+        batch.write_text(json.dumps({
+            "config": {"num_levels": 2},
+            "requests": [{"amplitude": 1.1}],
+        }))
+        rc = main(["serve", str(batch)])
+        assert rc == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert obj["results"][0]["request_id"] == "req-0"
+        assert obj["results"][0]["converged"]
+
+    def test_empty_batch_rejected(self, capsys, tmp_path):
+        batch = tmp_path / "batch.json"
+        batch.write_text("[]")
+        assert main(["serve", str(batch)]) == 1

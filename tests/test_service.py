@@ -1,0 +1,327 @@
+"""Tests for the multi-tenant solve service (repro.service).
+
+The load-bearing property is *bit-identity*: a request solved inside a
+cohort of any occupancy, on any engine variant, must reproduce the
+standalone solver's residual history and solution exactly — floats
+compared with ``==`` and arrays with ``array_equal``, no tolerances.
+Alongside ride the single-solve-lifetime fixes the service forced:
+geometry-keyed plan caches, owner-scoped metric registration, and
+per-fork tracer timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.bricks.plan_cache import PlanLRUCache, cache_stats
+from repro.gmg.solver import GMGSolver, SolverConfig
+from repro.obs.chrome_trace import to_chrome_trace, validate_chrome_trace
+from repro.obs.metrics import MetricsRegistry, solve_metrics
+from repro.obs.tracer import Tracer
+from repro.service import (
+    CohortSolver,
+    SolveRequest,
+    SolveService,
+    geometry_key,
+    standalone_solve,
+)
+from repro.service.cohort import StackedLocalExchanger
+from repro.service.loadgen import generate_requests, run_loadgen, smoke_config
+
+
+def tiny_config(**overrides) -> SolverConfig:
+    base = dict(
+        global_cells=8,
+        num_levels=2,
+        brick_dim=2,
+        max_smooths=2,
+        bottom_smooths=8,
+        max_vcycles=6,
+    )
+    base.update(overrides)
+    return SolverConfig(**base)
+
+
+def assert_identical(cohort_result, reference) -> None:
+    assert cohort_result.residual_history == reference.residual_history
+    assert cohort_result.converged == reference.converged
+    assert cohort_result.num_vcycles == reference.num_vcycles
+    assert np.array_equal(cohort_result.solution, reference.solution)
+
+
+# ---------------------------------------------------------------------------
+# bit-identity: request-in-cohort == standalone
+# ---------------------------------------------------------------------------
+ENGINE_VARIANTS = {
+    "seed": {},
+    "batched": {"batch_ranks": True},
+    "resident": {"halo_resident": True, "batch_ranks": True},
+    "engine": {
+        "halo_resident": True,
+        "fuse_kernels": True,
+        "batch_ranks": True,
+    },
+    "overlap": {"overlap": True},
+    "overlap-batched": {"overlap": True, "batch_ranks": True},
+    "multirank": {"rank_dims": (2, 1, 1)},
+    "multirank-agg": {
+        "global_cells": 16,
+        "num_levels": 3,
+        "brick_dim": 4,
+        "rank_dims": (2, 2, 1),
+        "agglomerate_threshold": 100,
+    },
+    "multirank-agg-engine": {
+        "global_cells": 16,
+        "num_levels": 3,
+        "brick_dim": 4,
+        "rank_dims": (2, 2, 1),
+        "agglomerate_threshold": 100,
+        "halo_resident": True,
+        "fuse_kernels": True,
+        "batch_ranks": True,
+    },
+}
+
+
+@pytest.mark.parametrize("variant", sorted(ENGINE_VARIANTS))
+def test_cohort_bit_identical_to_standalone(variant):
+    cfg = tiny_config(**ENGINE_VARIANTS[variant])
+    cohort = CohortSolver(cfg, capacity=3)
+    requests = [SolveRequest(cfg, amplitude=a) for a in (1.0, 0.7, 1.9)]
+    results = {r.request.request_id: r for r in cohort.solve_stream(requests)}
+    assert len(results) == 3
+    for request in requests:
+        assert_identical(results[request.request_id], standalone_solve(request))
+
+
+def test_single_request_among_idle_slots():
+    """One tenant in an otherwise empty capacity-8 cohort sees exactly
+    the standalone floats (idle slots hold zeros and never couple)."""
+    cfg = tiny_config(batch_ranks=True, fuse_kernels=True)
+    cohort = CohortSolver(cfg, capacity=8)
+    request = SolveRequest(cfg, amplitude=1.3)
+    (result,) = cohort.solve_stream([request])
+    assert_identical(result, standalone_solve(request))
+
+
+def test_retire_and_join_stream_bit_identical():
+    """Heterogeneous tolerances through fewer slots than requests:
+    retirements free slots, joiners enter at cycle boundaries mid-flight
+    of their neighbours — every trajectory stays standalone-exact."""
+    cfg = tiny_config(batch_ranks=True, max_vcycles=12)
+    cohort = CohortSolver(cfg, capacity=3)
+    requests = [
+        SolveRequest(
+            replace(cfg, tol=[1e-2, 1e-4, 1e-7][k % 3]),
+            amplitude=0.5 + 0.3 * k,
+        )
+        for k in range(8)
+    ]
+    results = {r.request.request_id: r for r in cohort.solve_stream(requests)}
+    assert len(results) == 8
+    joined = sorted(results[q.request_id].joined_at_cycle for q in requests)
+    assert joined[0] == 0 and joined[-1] > 0  # some really joined late
+    for request in requests:
+        assert_identical(results[request.request_id], standalone_solve(request))
+
+
+def test_requests_with_different_tols_share_a_cohort():
+    cfg = tiny_config()
+    relaxed = replace(cfg, tol=1e-2, max_vcycles=99)
+    assert geometry_key(cfg) == geometry_key(relaxed)
+    assert geometry_key(cfg) != geometry_key(tiny_config(global_cells=16))
+
+
+def test_cohort_rejects_reducing_bottom_solver():
+    with pytest.raises(ValueError, match="relaxation"):
+        CohortSolver(tiny_config(bottom_solver="cg"), capacity=2)
+
+
+def test_cohort_rejects_foreign_geometry():
+    cohort = CohortSolver(tiny_config(), capacity=2)
+    alien = SolveRequest(tiny_config(global_cells=16))
+    with pytest.raises(ValueError, match="geometry"):
+        cohort.solve_stream([alien])
+
+
+def test_stacked_exchanger_engages_on_smoke_geometry():
+    """The single-rank fused exchange is what makes batching pay; make
+    sure the smoke path actually uses it at every level."""
+    cohort = CohortSolver(smoke_config(), capacity=4)
+    assert all(
+        isinstance(ex, StackedLocalExchanger)
+        for ex in cohort.vcycle.exchangers
+    )
+
+
+# ---------------------------------------------------------------------------
+# the service front-end
+# ---------------------------------------------------------------------------
+def test_service_groups_by_geometry_and_caches_cohorts():
+    registry = MetricsRegistry()
+    service = SolveService(capacity=2, registry=registry)
+    small, large = tiny_config(), tiny_config(global_cells=16)
+    requests = [
+        SolveRequest(small, amplitude=1.0),
+        SolveRequest(large, amplitude=0.8),
+        SolveRequest(small, amplitude=1.5),
+    ]
+    results = service.submit(requests)
+    assert len(results) == 3
+    assert service.num_cohorts == 2
+    assert registry.get("service.cohorts_built") == 2
+    for request in requests:
+        got = next(r for r in results if r.request is request)
+        assert_identical(got, standalone_solve(request))
+    # resubmission reuses both cohorts — the workspace cache at work
+    service.submit([SolveRequest(small), SolveRequest(large)])
+    assert service.num_cohorts == 2
+    assert registry.get("service.cohorts_built") == 2
+    assert registry.get("service.cohort_cache_hits") == 2
+    assert registry.get("service.requests") == 5
+
+
+def test_loadgen_smoke_reports_speedup_and_ledger_metrics():
+    report = run_loadgen(
+        smoke_config(), num_requests=4, capacity=4, seed=1, warmup=True
+    )
+    assert report.num_requests == 4
+    assert report.speedup > 0
+    assert report.occupancy > 0.5
+    assert len(report.latencies_ms) == 4
+    assert report.metrics["p50_ms"] <= report.metrics["p95_ms"]
+    # lower-is-better keys for the perf ledger
+    for key in ("ms_per_solve", "p50_ms", "p95_ms", "sequential_ms_per_solve"):
+        assert report.metrics[key] > 0
+    payload = report.to_json()
+    assert payload["context"]["capacity"] == 4
+
+
+def test_loadgen_open_loop_arrivals_are_monotone():
+    requests, arrivals = generate_requests(
+        smoke_config(), 6, seed=3, rate_hz=50.0
+    )
+    assert len(requests) == len(arrivals) == 6
+    assert all(b >= a for a, b in zip(arrivals, arrivals[1:]))
+    ids = [r.request_id for r in requests]
+    assert len(set(ids)) == 6
+
+
+# ---------------------------------------------------------------------------
+# satellite 1: geometry-keyed bounded plan caches
+# ---------------------------------------------------------------------------
+def test_plan_lru_cache_eviction_and_stats():
+    cache = PlanLRUCache("test.lru", maxsize=2)
+    try:
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes a
+        cache.put("c", 3)  # evicts b
+        assert cache.get("b") is None
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["size"] == 2
+        assert cache_stats()["test.lru"]["hits"] == stats["hits"]
+    finally:
+        cache.unregister()
+
+
+def test_congruent_solvers_share_halo_plans():
+    from repro.bricks.halo_plan import _OFFSET_PLAN_CACHE
+
+    cfg = tiny_config(fuse_kernels=True, batch_ranks=True)
+    GMGSolver(cfg).solve()
+    misses_before = _OFFSET_PLAN_CACHE.stats()["misses"]
+    hits_before = _OFFSET_PLAN_CACHE.stats()["hits"]
+    GMGSolver(cfg).solve()  # congruent geometry: all plans cached
+    assert _OFFSET_PLAN_CACHE.stats()["misses"] == misses_before
+    assert _OFFSET_PLAN_CACHE.stats()["hits"] > hits_before
+
+
+# ---------------------------------------------------------------------------
+# satellite 2: owner-scoped metric registration
+# ---------------------------------------------------------------------------
+def test_metrics_owner_idempotent_re_registration():
+    registry = MetricsRegistry()
+    registry.gauge("svc.depth", 3.0, owner="svc")
+    # same owner may redefine the name, even across kinds
+    registry.counter("svc.depth", 1.0, owner="svc")
+    assert registry.get("svc.depth") == 1.0
+    # a different owner may not
+    with pytest.raises(ValueError, match="already"):
+        registry.gauge("svc.depth", 9.0, owner="other")
+    # unowned writes keep the strict collision error
+    registry.counter("legacy.count", 1.0)
+    with pytest.raises(ValueError, match="already"):
+        registry.gauge("legacy.count", 2.0)
+
+
+def test_two_solves_fold_into_one_registry():
+    """The long-lived-service regression: two back-to-back solves must
+    observe into one registry without collision errors."""
+    cfg = tiny_config()
+    registry = MetricsRegistry()
+    for _ in range(2):
+        solver = GMGSolver(cfg)
+        solver.solve()
+        registry.observe_recorder(solver.recorder)
+        registry.observe_plan_caches()
+    assert registry.get("kernels.total") > 0
+
+
+def test_solve_metrics_includes_plan_cache_gauges():
+    cfg = tiny_config()
+    solver = GMGSolver(cfg)
+    solver.solve()
+    registry = solve_metrics(solver.recorder)
+    snapshot = registry.snapshot()
+    assert any(k.startswith("cache.") for k in snapshot["gauges"])
+
+
+# ---------------------------------------------------------------------------
+# satellite 3: per-fork tracer timelines
+# ---------------------------------------------------------------------------
+def test_interleaved_forked_solves_export_valid_chrome_trace():
+    root = Tracer()
+    cfg = tiny_config()
+    a, b = root.fork("cohort-0"), root.fork("cohort-1")
+    # interleave two solves' spans on sibling timelines
+    solver_a, solver_b = GMGSolver(cfg, tracer=a), GMGSolver(cfg, tracer=b)
+    with a.span("solve"):
+        solver_a.vcycle.run()
+        with b.span("solve"):
+            solver_b.vcycle.run()
+    trace = to_chrome_trace(root)
+    counts = validate_chrome_trace(trace)
+    assert counts["spans"] > 0
+    # both forks appear as named threads under the driver pid
+    labels = {
+        ev["args"]["name"]
+        for ev in trace["traceEvents"]
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name"
+    }
+    assert {"fork cohort-0", "fork cohort-1"} <= labels
+
+
+def test_fork_timelines_are_isolated_but_share_epoch():
+    root = Tracer()
+    fork = root.fork("f")
+    assert root.fork("f") is fork  # cached by key
+    with fork.span("x"):
+        pass
+    assert not root.spans  # fork records never leak into the root
+    assert fork.spans[0].name == "x"
+
+
+def test_service_traces_each_cohort_into_its_own_fork():
+    tracer = Tracer()
+    service = SolveService(capacity=2, tracer=tracer)
+    service.submit([SolveRequest(tiny_config())])
+    assert list(tracer.forks) == ["cohort-0"]
+    fork = tracer.forks["cohort-0"]
+    assert fork.find("cohort-stream")
+    validate_chrome_trace(to_chrome_trace(tracer))
